@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper, prints the
+rendered rows (visible with ``pytest -s`` or on failure), and writes the
+artefact under ``benchmarks/out/`` so the output survives pytest's
+capture either way.  Fig. 5 and Fig. 6 come from the same 48 hourly
+runs, so those results are cached here and shared between the two
+benchmark files.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artefact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@functools.lru_cache(maxsize=None)
+def fig5_results(slot_subset: tuple = ()):
+    """The 12x4 hourly City-Hunter runs behind Fig. 5 *and* Fig. 6."""
+    from repro.experiments.figures import fig5_all
+
+    slots = list(slot_subset) if slot_subset else None
+    return fig5_all(slots=slots)

@@ -1,0 +1,24 @@
+"""Fig. 2: how many SSIDs each client actually receives.
+
+Paper shapes: (a) connected canteen clients were sent 20-250 SSIDs
+(mean ~130) before hitting — far beyond MANA's 40-ceiling; (b) in the
+passage ~70 % of clients received exactly one 40-burst and ~22 % two.
+"""
+
+from _shared import emit
+
+from repro.experiments.figures import fig2
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(fig2, rounds=1, iterations=1)
+    emit("fig2", result.render())
+
+    positions = result.canteen_hit_positions
+    assert max(positions) > 150  # untried lists reach deep
+    assert min(positions) < 40
+    assert 50 < sum(positions) / len(positions) < 200  # paper mean ~130
+
+    hist = result.passage_sent_histogram
+    assert 0.55 < hist.fraction(40) < 0.9  # paper ~70 %
+    assert 0.08 < hist.fraction(80) < 0.35  # paper ~22 %

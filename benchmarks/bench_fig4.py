@@ -1,0 +1,20 @@
+"""Fig. 4: the photo heat map.
+
+Paper shape: geotagged-photo density picks out the crowded places —
+malls and the shopping district glow, and the airport is the hot spot
+of its otherwise empty island.
+"""
+
+from _shared import emit
+
+from repro.experiments.figures import fig4
+
+
+def test_fig4(benchmark):
+    result = benchmark.pedantic(fig4, rounds=1, iterations=1)
+    emit("fig4", result.render())
+
+    contrast = {name: c for name, _, c in result.hottest_venues}
+    assert contrast["International Airport"] > 20
+    names = [name for name, _, _ in result.hottest_venues[:4]]
+    assert any("Mall" in n for n in names)

@@ -1,0 +1,46 @@
+"""Fig. 6: breakdown of the SSIDs that hit broadcast clients.
+
+Paper shapes (over the same 48 runs as Fig. 5): WiGLE-sourced SSIDs
+dominate direct-probe-sourced ones (~3.5-5x in the passage), but the
+direct contribution grows in rush hours; the popularity buffer
+dominates the freshness buffer everywhere, with freshness mattering
+relatively more in the canteen (1:3-1:5) than in the passage
+(1:6-1:10) — companions sit together at lunch.
+"""
+
+import numpy as np
+from _shared import emit, fig5_results
+
+
+def test_fig6(benchmark):
+    results = benchmark.pedantic(fig5_results, rounds=1, iterations=1)
+    text = "\n\n".join(results[key].render_breakdown() for key in results)
+    emit("fig6", text)
+
+    def totals(res):
+        wigle = sum(s.source.from_wigle for s in res.slots)
+        direct = sum(s.source.from_direct for s in res.slots)
+        pop = sum(s.buffers.from_popularity for s in res.slots)
+        fresh = sum(s.buffers.from_freshness for s in res.slots)
+        return wigle, direct, pop, fresh
+
+    for key, res in results.items():
+        wigle, direct, pop, fresh = totals(res)
+        assert wigle > direct, key  # WiGLE contributes more everywhere
+        assert pop > fresh, key  # popularity dominates everywhere
+
+    # Freshness is relatively stronger where people sit in groups.
+    _, _, pop_c, fresh_c = totals(results["canteen"])
+    _, _, pop_p, fresh_p = totals(results["passage"])
+    assert fresh_c / max(1, pop_c) > fresh_p / max(1, pop_p)
+
+    # Direct probes contribute relatively more in rush hours (passage).
+    passage = results["passage"].slots
+    def direct_share(slots):
+        d = sum(s.source.from_direct for s in slots)
+        w = sum(s.source.from_wigle for s in slots)
+        return d / max(1, d + w)
+
+    rush_share = direct_share([s for s in passage if s.rush])
+    calm_share = direct_share([s for s in passage if not s.rush])
+    assert rush_share > calm_share - 0.02

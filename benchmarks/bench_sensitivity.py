@@ -1,0 +1,98 @@
+"""Sensitivity of City-Hunter to crowd density and mobility.
+
+The paper's framing ("public places with different crowd density ...
+and different mobility pattern") as a controlled sweep: broadcast hit
+rate vs arrival rate (density) and vs walking speed (mobility) at the
+subway passage.  Expectations: h_b rises mildly with density (a richer
+direct-probe stream feeds the database and groups feed the freshness
+buffer) and falls with walking speed (fewer scans in radio range).
+"""
+
+from _shared import emit
+
+from repro.experiments.attackers import make_cityhunter
+from repro.experiments.calibration import default_city, venue_profile
+from repro.experiments.runner import run_experiment, shared_wigle
+from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.analysis.metrics import summarize
+from repro.util.tables import render_table
+
+SEED = 7
+DURATION = 1500.0
+
+
+def _run_passage(people_per_min=None, walk_speed=1.3):
+    city = default_city()
+    wigle = shared_wigle()
+    profile = venue_profile("passage")
+    config = ScenarioConfig(
+        venue_name=profile.venue_name,
+        mobility="corridor",
+        people_per_min=(
+            people_per_min
+            if people_per_min is not None
+            else profile.people_per_min_30min_test
+        ),
+        duration=DURATION,
+        seed=SEED,
+        fidelity="burst",
+        walk_speed_mean=walk_speed,
+    )
+    build = build_scenario(
+        city, wigle, config, make_cityhunter(wigle, city.heatmap)
+    )
+    build.sim.run(DURATION + 30.0)
+    return summarize(build.attacker.session)
+
+
+def test_sensitivity_crowd_density(benchmark):
+    def run():
+        rows = []
+        for rate in (10.0, 25.0, 50.0, 100.0):
+            s = _run_passage(people_per_min=rate)
+            rows.append((rate, s))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "sensitivity_density",
+        render_table(
+            ["arrivals (people/min)", "clients", "h_b"],
+            [
+                [f"{rate:.0f}", s.total_clients,
+                 f"{100 * s.broadcast_hit_rate:.1f}%"]
+                for rate, s in rows
+            ],
+            title="Sensitivity: crowd density at the passage",
+        ),
+    )
+    rates = [s.broadcast_hit_rate for _, s in rows]
+    # Denser crowds never hurt, and the densest beats the sparsest.
+    assert rates[-1] > rates[0] - 0.02
+    assert all(r > 0.05 for r in rates)
+
+
+def test_sensitivity_walking_speed(benchmark):
+    def run():
+        rows = []
+        for speed in (0.7, 1.3, 2.2):
+            s = _run_passage(walk_speed=speed)
+            rows.append((speed, s))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "sensitivity_speed",
+        render_table(
+            ["walk speed (m/s)", "clients", "h_b"],
+            [
+                [f"{speed:.1f}", s.total_clients,
+                 f"{100 * s.broadcast_hit_rate:.1f}%"]
+                for speed, s in rows
+            ],
+            title="Sensitivity: walking speed at the passage",
+        ),
+    )
+    rates = [s.broadcast_hit_rate for _, s in rows]
+    # Slower crowds are easier prey: strictly more scans in range.
+    assert rates[0] > rates[-1]

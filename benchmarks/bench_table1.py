@@ -1,0 +1,18 @@
+"""Table I: KARMA vs MANA in the canteen (30-minute deployments).
+
+Paper row shapes: KARMA h ~3.9 % with h_b = 0; MANA h ~6.6 % with
+h_b ~3 % — the broadcast-probe gap that motivates City-Hunter.
+"""
+
+from _shared import emit
+
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    emit("table1", result.render())
+    karma, mana = result.summaries()
+    assert karma.connected_broadcast == 0
+    assert mana.broadcast_hit_rate > 0
+    assert mana.hit_rate > karma.hit_rate

@@ -1,0 +1,21 @@
+"""Table IV: top-5 SSIDs by AP count vs by photo-heat value.
+
+Paper shape: count ranking is led by HKBN / 7-Eleven / Circle K / CSL /
+CMCC-WEB; heat ranking promotes `Free Public WiFi` and the airport
+network whose APs sit where the people are.
+"""
+
+from _shared import emit
+
+from repro.experiments.tables import table4
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(table4, rounds=1, iterations=1)
+    emit("table4", result.render())
+    count_col = [row[1] for row in result.rows]
+    heat_col = [row[2] for row in result.rows]
+    assert count_col[0] == "-Free HKBN Wi-Fi-"
+    assert heat_col[0] == "Free Public WiFi"
+    assert heat_col[1] == "#HKAirport Free WiFi"
+    assert "#HKAirport Free WiFi" not in count_col

@@ -1,0 +1,65 @@
+"""Reproduction of "City-Hunter: Hunting Smartphones in Urban Areas"
+(ICDCS 2017) on a synthetic 802.11 / urban-crowd simulator.
+
+Layer map (bottom-up):
+
+* :mod:`repro.util`, :mod:`repro.sim`, :mod:`repro.geo` — utilities,
+  discrete-event engine, planar geometry;
+* :mod:`repro.dot11` — the 802.11 substrate (frames, timing, medium);
+* :mod:`repro.city`, :mod:`repro.wigle` — the synthetic city and its
+  wardriving registry / photo heat map;
+* :mod:`repro.population`, :mod:`repro.devices`, :mod:`repro.mobility`
+  — people, their phones, and how they move;
+* :mod:`repro.attacks` — KARMA, MANA, preliminary City-Hunter, deauth;
+* :mod:`repro.core` — the paper's contribution: the adaptive
+  City-Hunter attacker;
+* :mod:`repro.analysis`, :mod:`repro.experiments` — metrics and the
+  table/figure regeneration harness.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.analysis import AttackSession, SessionSummary, summarize
+from repro.attacks import CityHunterBasic, KarmaAttacker, ManaAttacker
+from repro.city import City, CityConfig, build_city
+from repro.core import CityHunter, CityHunterConfig
+from repro.defenses import CanaryProbeDetector, MultiSsidDetector
+from repro.experiments import (
+    default_city,
+    make_cityhunter,
+    make_cityhunter_basic,
+    make_karma,
+    make_mana,
+    run_experiment,
+    venue_profile,
+)
+from repro.sim import Simulation
+from repro.wigle import WigleDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackSession",
+    "SessionSummary",
+    "summarize",
+    "CityHunterBasic",
+    "KarmaAttacker",
+    "ManaAttacker",
+    "City",
+    "CityConfig",
+    "build_city",
+    "CityHunter",
+    "CityHunterConfig",
+    "CanaryProbeDetector",
+    "MultiSsidDetector",
+    "default_city",
+    "make_cityhunter",
+    "make_cityhunter_basic",
+    "make_karma",
+    "make_mana",
+    "run_experiment",
+    "venue_profile",
+    "Simulation",
+    "WigleDatabase",
+    "__version__",
+]

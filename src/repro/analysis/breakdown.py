@@ -1,0 +1,74 @@
+"""Hit-provenance breakdowns (Fig. 6).
+
+Among the SSIDs that successfully hit *broadcast* clients, the paper
+splits (a) by source — WiGLE-seeded vs learned from direct probes — and
+(b) by buffer — popularity buffer (+ its ghost) vs freshness buffer
+(+ its ghost).  Ratios are annotated above each bar; we reproduce both
+numbers and ratio strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.session import AttackSession
+
+POPULARITY_BUCKETS = frozenset({"pb", "pb_ghost", "db"})
+FRESHNESS_BUCKETS = frozenset({"fb", "fb_ghost"})
+
+
+@dataclass(frozen=True)
+class SourceBreakdown:
+    """Broadcast hits split by SSID source."""
+
+    from_wigle: int
+    from_direct: int
+    from_other: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """wigle : direct ratio (inf when no direct-sourced hits)."""
+        if self.from_direct == 0:
+            return float("inf") if self.from_wigle else 0.0
+        return self.from_wigle / self.from_direct
+
+
+@dataclass(frozen=True)
+class BufferBreakdown:
+    """Broadcast hits split by selection buffer."""
+
+    from_popularity: int
+    from_freshness: int
+    from_other: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """popularity : freshness ratio (inf when freshness never hit)."""
+        if self.from_freshness == 0:
+            return float("inf") if self.from_popularity else 0.0
+        return self.from_popularity / self.from_freshness
+
+
+def breakdown_hits(session: AttackSession) -> "tuple[SourceBreakdown, BufferBreakdown]":
+    """Fig. 6 split for one finished session."""
+    wigle = direct = other_src = 0
+    pop = fresh = other_buf = 0
+    for rec in session.broadcast_clients():
+        if not rec.connected or rec.hit_bucket == "mimic":
+            continue
+        if rec.hit_origin == "wigle":
+            wigle += 1
+        elif rec.hit_origin == "direct":
+            direct += 1
+        else:
+            other_src += 1
+        if rec.hit_bucket in POPULARITY_BUCKETS:
+            pop += 1
+        elif rec.hit_bucket in FRESHNESS_BUCKETS:
+            fresh += 1
+        else:
+            other_buf += 1
+    return (
+        SourceBreakdown(wigle, direct, other_src),
+        BufferBreakdown(pop, fresh, other_buf),
+    )

@@ -1,0 +1,103 @@
+"""Session export: CSV and JSON serialisation of attack results.
+
+Downstream analysis (pandas, spreadsheets, plotting) wants flat records;
+these helpers dump a finished :class:`AttackSession` per-client, plus a
+compact JSON summary bundling the headline metrics and breakdowns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional
+
+from repro.analysis.breakdown import breakdown_hits
+from repro.analysis.metrics import summarize
+from repro.analysis.session import AttackSession
+
+CLIENT_FIELDS = [
+    "mac",
+    "first_seen",
+    "direct_prober",
+    "probes_seen",
+    "ssids_sent",
+    "connected",
+    "hit_time",
+    "hit_ssid",
+    "hit_origin",
+    "hit_bucket",
+    "hit_position",
+]
+
+
+def clients_to_csv(session: AttackSession) -> str:
+    """One CSV row per observed client, in first-seen order."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=CLIENT_FIELDS)
+    writer.writeheader()
+    for rec in session.records():
+        writer.writerow(
+            {
+                "mac": rec.mac,
+                "first_seen": f"{rec.first_seen:.3f}",
+                "direct_prober": int(rec.direct_prober),
+                "probes_seen": rec.probes_seen,
+                "ssids_sent": rec.ssids_sent,
+                "connected": int(rec.connected),
+                "hit_time": "" if rec.hit_time is None else f"{rec.hit_time:.3f}",
+                "hit_ssid": rec.hit_ssid or "",
+                "hit_origin": rec.hit_origin or "",
+                "hit_bucket": rec.hit_bucket or "",
+                "hit_position": "" if rec.hit_position is None else rec.hit_position,
+            }
+        )
+    return buf.getvalue()
+
+
+def session_to_json(session: AttackSession, label: str = "") -> str:
+    """Headline metrics + breakdowns as a JSON document."""
+    summary = summarize(session)
+    source, buffers = breakdown_hits(session)
+    doc = {
+        "label": label,
+        "clients": {
+            "total": summary.total_clients,
+            "direct": summary.direct_clients,
+            "broadcast": summary.broadcast_clients,
+        },
+        "connected": {
+            "direct": summary.connected_direct,
+            "broadcast": summary.connected_broadcast,
+        },
+        "rates": {
+            "h": summary.hit_rate,
+            "h_b": summary.broadcast_hit_rate,
+        },
+        "breakdown": {
+            "source": {
+                "wigle": source.from_wigle,
+                "direct": source.from_direct,
+                "other": source.from_other,
+            },
+            "buffers": {
+                "popularity": buffers.from_popularity,
+                "freshness": buffers.from_freshness,
+                "other": buffers.from_other,
+            },
+        },
+        "db_size_series": [
+            {"time": t, "size": size} for t, size in session.db_size_series
+        ],
+        "deauths_sent": session.deauths_sent,
+    }
+    return json.dumps(doc, indent=2)
+
+
+def load_summary(json_text: str) -> dict:
+    """Parse a document produced by :func:`session_to_json`."""
+    doc = json.loads(json_text)
+    for key in ("clients", "connected", "rates", "breakdown"):
+        if key not in doc:
+            raise ValueError(f"not a session summary document: missing {key!r}")
+    return doc

@@ -1,0 +1,70 @@
+"""Headline metrics: the columns of Tables I-III.
+
+Client classification follows the paper: a client is a *direct* client
+if it ever sent a direct probe, otherwise a *broadcast* client; the
+connected counts are partitioned by client class, ``h`` is overall
+connected / total, and ``h_b`` is connected broadcast clients / total
+broadcast clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.session import AttackSession
+
+
+@dataclass(frozen=True)
+class SessionSummary:
+    """One row of a Table I/II/III-style comparison."""
+
+    total_clients: int
+    direct_clients: int
+    broadcast_clients: int
+    connected_direct: int
+    connected_broadcast: int
+
+    @property
+    def connected_total(self) -> int:
+        """All clients lured, regardless of class."""
+        return self.connected_direct + self.connected_broadcast
+
+    @property
+    def hit_rate(self) -> float:
+        """The paper's ``h``: connected / total clients seen."""
+        if self.total_clients == 0:
+            return 0.0
+        return self.connected_total / self.total_clients
+
+    @property
+    def broadcast_hit_rate(self) -> float:
+        """The paper's ``h_b``: connected broadcast / broadcast clients."""
+        if self.broadcast_clients == 0:
+            return 0.0
+        return self.connected_broadcast / self.broadcast_clients
+
+    def as_table_row(self, label: str) -> list:
+        """Row in the paper's table layout."""
+        return [
+            label,
+            self.total_clients,
+            f"{self.direct_clients}/{self.broadcast_clients}",
+            f"{self.connected_direct} (direct); {self.connected_broadcast} (broadcast)",
+            f"{100.0 * self.hit_rate:.1f}%",
+            f"{100.0 * self.broadcast_hit_rate:.1f}%",
+        ]
+
+
+def summarize(session: AttackSession) -> SessionSummary:
+    """Collapse a finished session into the headline metrics."""
+    direct = session.direct_clients()
+    broadcast = session.broadcast_clients()
+    connected_direct = sum(1 for r in direct if r.connected)
+    connected_broadcast = sum(1 for r in broadcast if r.connected)
+    return SessionSummary(
+        total_clients=len(direct) + len(broadcast),
+        direct_clients=len(direct),
+        broadcast_clients=len(broadcast),
+        connected_direct=connected_direct,
+        connected_broadcast=connected_broadcast,
+    )

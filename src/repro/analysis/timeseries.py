@@ -1,0 +1,92 @@
+"""Windowed time series (Fig. 1).
+
+``h_b^r`` — the real-time broadcast hit rate — assigns each broadcast
+client to the window of its first observed probe and asks what fraction
+of those clients the attacker eventually lured.  Cumulative series for
+database size and connections support Fig. 1(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.session import AttackSession
+
+
+@dataclass(frozen=True)
+class WindowStat:
+    """One window of the real-time broadcast hit rate."""
+
+    start: float
+    end: float
+    broadcast_clients: int
+    connected: int
+
+    @property
+    def rate(self) -> float:
+        """``h_b^r`` for this window (0 when the window saw nobody)."""
+        if self.broadcast_clients == 0:
+            return 0.0
+        return self.connected / self.broadcast_clients
+
+
+def windowed_broadcast_hit_rate(
+    session: AttackSession, duration: float, window: float
+) -> List[WindowStat]:
+    """``h_b^r`` per window over ``[0, duration)``."""
+    if window <= 0 or duration <= 0:
+        raise ValueError("duration and window must be positive")
+    count = int(round(duration / window))
+    stats = [
+        {"clients": 0, "connected": 0} for _ in range(count)
+    ]
+    for rec in session.broadcast_clients():
+        idx = int(rec.first_seen // window)
+        if not 0 <= idx < count:
+            continue
+        stats[idx]["clients"] += 1
+        if rec.connected:
+            stats[idx]["connected"] += 1
+    return [
+        WindowStat(i * window, (i + 1) * window, s["clients"], s["connected"])
+        for i, s in enumerate(stats)
+    ]
+
+
+def cumulative_broadcast_connections(
+    session: AttackSession, duration: float, step: float
+) -> List[Tuple[float, int]]:
+    """Cumulative broadcast-client connections over time (Fig. 1a)."""
+    times = sorted(
+        r.hit_time
+        for r in session.broadcast_clients()
+        if r.connected and r.hit_time is not None
+    )
+    out: List[Tuple[float, int]] = []
+    t = step
+    i = 0
+    while t <= duration + 1e-9:
+        while i < len(times) and times[i] <= t:
+            i += 1
+        out.append((t, i))
+        t += step
+    return out
+
+
+def db_size_at_steps(
+    session: AttackSession, duration: float, step: float
+) -> List[Tuple[float, int]]:
+    """Database size sampled at regular steps (Fig. 1a)."""
+    series = sorted(session.db_size_series)
+    out: List[Tuple[float, int]] = []
+    t = step
+    i = 0
+    size = series[0][1] if series else 0
+    while t <= duration + 1e-9:
+        while i < len(series) and series[i][0] <= t:
+            size = series[i][1]
+            i += 1
+        out.append((t, size))
+        t += step
+    return out

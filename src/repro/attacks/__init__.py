@@ -1,0 +1,23 @@
+"""Evil-twin attackers.
+
+:class:`RogueAp` implements everything every attacker shares — frame
+handling, the association handshake, hit recording — and exposes two
+strategy hooks (``on_broadcast_probe``, ``on_direct_probe``).  KARMA and
+MANA are the paper's baselines; ``CityHunterBasic`` is the Section III
+preliminary design (untried lists + WiGLE seeding); the full adaptive
+attacker lives in :mod:`repro.core`.
+"""
+
+from repro.attacks.base import RogueAp
+from repro.attacks.deauth import DeauthEmitter
+from repro.attacks.karma import KarmaAttacker
+from repro.attacks.mana import ManaAttacker
+from repro.attacks.cityhunter_basic import CityHunterBasic
+
+__all__ = [
+    "RogueAp",
+    "DeauthEmitter",
+    "KarmaAttacker",
+    "ManaAttacker",
+    "CityHunterBasic",
+]

@@ -1,0 +1,127 @@
+"""Shared rogue-AP machinery.
+
+The base class handles the 802.11 conversation (probe in, responses out,
+auth/assoc handshake, hit recording into the :class:`AttackSession`);
+concrete attackers only decide *which SSIDs to advertise* by overriding
+the two probe hooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.session import AttackSession, SentSsid
+from repro.dot11.capabilities import Security
+from repro.dot11.channel import DEFAULT_ATTACK_CHANNEL, Channel, validate_channel
+from repro.dot11.frames import (
+    AssocRequest,
+    AssocResponse,
+    AuthRequest,
+    AuthResponse,
+    Frame,
+    ProbeRequest,
+    ProbeResponse,
+)
+from repro.dot11.mac import MacAddress
+from repro.dot11.medium import Medium
+from repro.dot11.timing import DEFAULT_SCAN_TIMING, ScanTiming
+from repro.geo.point import Point
+from repro.sim.simulation import Simulation
+
+DEFAULT_ATTACKER_RANGE_M = 55.0
+"""Radio reach of the 100 mW prototype (Section V-A)."""
+
+
+class RogueAp:
+    """Base evil twin: answers probes, completes handshakes, records hits."""
+
+    name = "rogue"
+
+    def __init__(
+        self,
+        mac: MacAddress,
+        position: Point,
+        medium: Medium,
+        session: Optional[AttackSession] = None,
+        timing: ScanTiming = DEFAULT_SCAN_TIMING,
+        tx_range: float = DEFAULT_ATTACKER_RANGE_M,
+        channel: Channel = DEFAULT_ATTACK_CHANNEL,
+    ):
+        self.mac = mac
+        self.position = position
+        self.medium = medium
+        self.session = session if session is not None else AttackSession()
+        self.timing = timing
+        self.tx_range = tx_range
+        self.channel = validate_channel(channel)
+        self.sim: Optional[Simulation] = None
+
+    # -- Station protocol ------------------------------------------------------
+
+    def position_at(self, time: float) -> Point:
+        """Fixed installation point."""
+        return self.position
+
+    def start(self, sim: Simulation) -> None:
+        """Entity hook: attach to the medium."""
+        self.sim = sim
+        self.medium.attach(self, self.tx_range)
+
+    # -- strategy hooks ------------------------------------------------------
+
+    def on_broadcast_probe(self, client: MacAddress, time: float) -> None:
+        """Called for each broadcast probe received.  Default: ignore."""
+
+    def on_direct_probe(self, client: MacAddress, ssid: str, time: float) -> None:
+        """Called for each direct probe received.  Default: ignore."""
+
+    def on_hit(self, client: MacAddress, ssid: str, time: float) -> None:
+        """Called after a client associated.  Default: nothing."""
+
+    # -- frame handling ------------------------------------------------------
+
+    def receive(self, frame: Frame, time: float) -> None:
+        """Dispatch one received frame."""
+        if isinstance(frame, ProbeRequest):
+            if frame.channel != self.channel:
+                return  # probing a channel we are not camped on
+            direct = not frame.is_broadcast_probe
+            self.session.observe_probe(frame.src, time, direct)
+            if direct:
+                self.on_direct_probe(frame.src, frame.ssid, time)
+            else:
+                self.on_broadcast_probe(frame.src, time)
+        elif isinstance(frame, AuthRequest):
+            self.medium.transmit(self, AuthResponse(self.mac, frame.src, True))
+        elif isinstance(frame, AssocRequest):
+            self.session.record_hit(frame.src, time, frame.ssid)
+            self.medium.transmit(
+                self, AssocResponse(self.mac, frame.src, frame.ssid, True)
+            )
+            self.on_hit(frame.src, frame.ssid, time)
+
+    # -- transmit helpers ------------------------------------------------------
+
+    def send_mimic(self, client: MacAddress, ssid: str, time: float) -> None:
+        """Reply to a direct probe with an open evil twin of ``ssid``."""
+        self.session.record_mimic(client, time, ssid)
+        self.medium.transmit(
+            self,
+            ProbeResponse(self.mac, client, ssid, Security.OPEN),
+            self.timing.response_airtime,
+        )
+
+    def send_ssid_burst(
+        self, client: MacAddress, metas: Sequence[SentSsid], time: float
+    ) -> None:
+        """Advertise database SSIDs to ``client`` back-to-back."""
+        if not metas:
+            return
+        self.session.record_sent(client, time, metas)
+        responses: List[ProbeResponse] = [
+            ProbeResponse(self.mac, client, meta.ssid, Security.OPEN)
+            for meta in metas
+        ]
+        self.medium.transmit_response_burst(
+            self, responses, self.timing.response_airtime
+        )

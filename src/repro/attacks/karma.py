@@ -1,0 +1,22 @@
+"""The KARMA attacker (Dai Zovi & Macaulay, baseline #1).
+
+KARMA reflects every direct probe as an open evil twin of the probed
+SSID.  It has no database and no answer to broadcast probes, which is
+why its broadcast hit rate is identically zero under modern clients —
+the observation that motivates the whole paper.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import RogueAp
+from repro.dot11.mac import MacAddress
+
+
+class KarmaAttacker(RogueAp):
+    """Reflect direct probes; ignore broadcast probes."""
+
+    name = "karma"
+
+    def on_direct_probe(self, client: MacAddress, ssid: str, time: float) -> None:
+        """Mimic the probed SSID as an open network."""
+        self.send_mimic(client, ssid, time)

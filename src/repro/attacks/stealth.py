@@ -1,0 +1,158 @@
+"""Stealth City-Hunter: evading the classic detectors.
+
+The plain attacker is trivially detectable: one BSSID advertising forty
+SSIDs per burst trips any multi-SSID monitor, and KARMA-style reflection
+of arbitrary direct probes walks straight into canary traps.  This
+variant — an exploration of the arms race the paper's countermeasure
+discussion implies — changes two things:
+
+1. **BSSID-per-SSID**: every advertised SSID gets its own stable alias
+   BSSID (real hardware does this with MAC spoofing on one radio).  A
+   monitor now sees hundreds of ordinary-looking one-SSID APs instead of
+   one chameleon.
+2. **No blind mimicry** (optional, default on): direct probes are only
+   answered for SSIDs already present in the database, so canary probes
+   for freshly invented names go unanswered.  The cost is real — unknown
+   direct probes are no longer harvested-and-hit in one step — and is
+   measured in ``benchmarks/bench_stealth.py``.
+
+Association still works: the phone associates to the alias BSSID it saw,
+the alias forwards the handshake to the hunter, and the hit is recorded
+against the same session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.session import SentSsid
+from repro.core.hunter import CityHunter
+from repro.dot11.capabilities import Security
+from repro.dot11.frames import Frame, ProbeRequest, ProbeResponse
+from repro.dot11.mac import MacAddress, random_ap_mac
+from repro.dot11.medium import Medium  # noqa: F401  (doc reference)
+from repro.geo.point import Point
+from repro.sim.simulation import Simulation
+
+
+class _AliasStation:
+    """One spoofed BSSID; forwards unicast traffic to the hunter."""
+
+    __slots__ = ("mac", "owner")
+
+    def __init__(self, mac: MacAddress, owner: "StealthCityHunter"):
+        self.mac = mac
+        self.owner = owner
+
+    def position_at(self, time: float) -> Point:
+        return self.owner.position_at(time)
+
+    def receive(self, frame: Frame, time: float) -> None:
+        # Aliases serve only the frames addressed to them (the handshake
+        # after a client picked this BSSID); probes are the main
+        # station's business — otherwise every alias would answer every
+        # broadcast probe.
+        if isinstance(frame, ProbeRequest):
+            return
+        if frame.dst == self.mac:
+            self.owner.receive_as(self.mac, frame, time)
+
+
+class StealthCityHunter(CityHunter):
+    """City-Hunter with BSSID rotation and optional mimicry discipline."""
+
+    name = "city-hunter-stealth"
+
+    def __init__(self, *args, mimic_unknown: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.mimic_unknown = mimic_unknown
+        self._alias_by_ssid: Dict[str, _AliasStation] = {}
+
+    def start(self, sim: Simulation) -> None:
+        super().start(sim)
+        self._alias_rng = sim.rngs.stream("stealth_alias")
+
+    # -- alias management ---------------------------------------------------
+
+    def alias_for(self, ssid: str) -> _AliasStation:
+        """The stable spoofed BSSID advertising ``ssid``."""
+        alias = self._alias_by_ssid.get(ssid)
+        if alias is None:
+            mac = random_ap_mac(self._alias_rng)
+            while self.medium.is_attached(mac):
+                mac = random_ap_mac(self._alias_rng)
+            alias = _AliasStation(mac, self)
+            self._alias_by_ssid[ssid] = alias
+            self.medium.attach(alias, self.tx_range)
+        return alias
+
+    @property
+    def alias_count(self) -> int:
+        """How many spoofed BSSIDs are live."""
+        return len(self._alias_by_ssid)
+
+    def receive_as(self, alias_mac: MacAddress, frame: Frame, time: float) -> None:
+        """Handle a handshake frame addressed to one of our aliases."""
+        from repro.dot11.frames import AssocRequest, AssocResponse, AuthRequest, AuthResponse
+
+        alias = next(
+            a for a in self._alias_by_ssid.values() if a.mac == alias_mac
+        )
+        if isinstance(frame, AuthRequest):
+            self.medium.transmit(alias, AuthResponse(alias_mac, frame.src, True))
+        elif isinstance(frame, AssocRequest):
+            self.session.record_hit(frame.src, time, frame.ssid)
+            self.medium.transmit(
+                alias, AssocResponse(alias_mac, frame.src, frame.ssid, True)
+            )
+            self.on_hit(frame.src, frame.ssid, time)
+
+    # -- overridden transmit paths ----------------------------------------------
+
+    def send_mimic(self, client: MacAddress, ssid: str, time: float) -> None:
+        """Reflect a direct probe — from the SSID's own alias BSSID."""
+        self.session.record_mimic(client, time, ssid)
+        alias = self.alias_for(ssid)
+        self.medium.transmit(
+            alias,
+            ProbeResponse(alias.mac, client, ssid, Security.OPEN),
+            self.timing.response_airtime,
+        )
+
+    def on_direct_probe(self, client: MacAddress, ssid: str, time: float) -> None:
+        """Harvest/reflect, but never answer for SSIDs we do not know
+        unless ``mimic_unknown`` — that silence is what defeats canaries."""
+        if ssid in self.db:
+            self.db.bump_weight(ssid, self.config.direct_repeat_bump)
+            entry = self.db.get(ssid)
+            entry.direct_seen = True
+            entry.last_direct_seen = time
+            self.send_mimic(client, ssid, time)
+            return
+        if self.mimic_unknown:
+            super().on_direct_probe(client, ssid, time)
+        else:
+            # Still learn the SSID (a future client may hold it); just
+            # do not blindly impersonate it right now.
+            self.db.add(
+                ssid, self.config.direct_initial_weight, origin="direct", time=time
+            )
+            entry = self.db.get(ssid)
+            entry.direct_seen = True
+            entry.last_direct_seen = time
+            self.session.record_db_size(time, len(self.db))
+
+    def send_ssid_burst(
+        self, client: MacAddress, metas: Sequence[SentSsid], time: float
+    ) -> None:
+        """Advertise the burst with one spoofed BSSID per SSID."""
+        if not metas:
+            return
+        self.session.record_sent(client, time, metas)
+        responses: List[ProbeResponse] = [
+            ProbeResponse(self.alias_for(m.ssid).mac, client, m.ssid, Security.OPEN)
+            for m in metas
+        ]
+        self.medium.transmit_response_burst(
+            self, responses, self.timing.response_airtime
+        )

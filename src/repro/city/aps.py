@@ -1,0 +1,255 @@
+"""Access-point deployment.
+
+Places every AP of the synthetic city: chain APs according to their
+placement mixes, venue APs inside their venues, open small-business
+("shop") APs along streets, and residential routers (mostly secured).
+The result feeds both the WiGLE registry and PNL synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.city.chains import ChainSpec
+from repro.city.venues import Venue, VenueKind
+from repro.dot11.capabilities import Security
+from repro.dot11.ssid import validate_ssid
+from repro.geo.point import Point
+from repro.geo.region import Rect
+from repro.util import textgen
+
+HOT_VENUE_KINDS = (
+    VenueKind.MALL,
+    VenueKind.SHOPPING_CENTER,
+    VenueKind.RAILWAY_STATION,
+)
+"""Venue kinds that count as the ``hot`` placement class."""
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One deployed AP, as it would appear in a wardriving registry."""
+
+    ssid: str
+    security: Security
+    location: Point
+    source: str
+    """Provenance tag: ``chain:<name>``, ``venue:<name>``, ``shop`` or
+    ``residential``."""
+
+    def __post_init__(self) -> None:
+        validate_ssid(self.ssid)
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the network is open (exploitable by an evil twin)."""
+        return self.security.is_open
+
+
+def terminal_region(airport: Rect, shrink: float = 0.30) -> Rect:
+    """The terminal building: the central ``shrink`` fraction of the
+    airport rect, where both the people (photos) and the APs concentrate."""
+    cx, cy = airport.center
+    half_w = airport.width * shrink / 2.0
+    half_h = airport.height * shrink / 2.0
+    return Rect(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+
+class _PlacementClasses:
+    """Resolved sampling regions for the four placement classes."""
+
+    def __init__(self, bounds: Rect, venues: Sequence[Venue]):
+        self.hot_regions = [v.region for v in venues if v.kind in HOT_VENUE_KINDS]
+        self.residential_regions = [
+            v.region for v in venues if v.kind is VenueKind.RESIDENTIAL
+        ]
+        airports = [v.region for v in venues if v.kind is VenueKind.AIRPORT]
+        self.airport_regions = [terminal_region(r) for r in airports]
+        # Street level: the central third of the city.
+        self.street_region = Rect(
+            bounds.x0 + bounds.width * 0.30,
+            bounds.y0 + bounds.height * 0.30,
+            bounds.x0 + bounds.width * 0.72,
+            bounds.y0 + bounds.height * 0.62,
+        )
+
+    def sample(self, klass: str, rng: np.random.Generator) -> Point:
+        """A random point from one placement class."""
+        if klass == "street":
+            return self.street_region.sample(rng)
+        if klass == "hot":
+            regions = self.hot_regions
+        elif klass == "residential":
+            regions = self.residential_regions
+        elif klass == "airport":
+            regions = self.airport_regions
+        else:
+            raise ValueError("unknown placement class %r" % klass)
+        if not regions:
+            return self.street_region.sample(rng)
+        region = regions[int(rng.integers(len(regions)))]
+        return region.sample(rng)
+
+
+def _chain_aps(
+    chains: Sequence[ChainSpec],
+    classes: _PlacementClasses,
+    rng: np.random.Generator,
+) -> List[AccessPoint]:
+    out: List[AccessPoint] = []
+    for spec in chains:
+        mix = spec.placement
+        weights = [mix.hot, mix.street, mix.residential, mix.airport]
+        names = ["hot", "street", "residential", "airport"]
+        draws = rng.choice(len(names), size=spec.ap_count, p=weights)
+        for d in draws:
+            out.append(
+                AccessPoint(
+                    ssid=spec.name,
+                    security=spec.security,
+                    location=classes.sample(names[int(d)], rng),
+                    source=f"chain:{spec.name}",
+                )
+            )
+    return out
+
+
+def _venue_aps(venues: Sequence[Venue], rng: np.random.Generator) -> List[AccessPoint]:
+    out: List[AccessPoint] = []
+    for venue in venues:
+        if not venue.wifi_ssids or venue.ap_count <= 0:
+            continue
+        region = venue.region
+        if venue.kind is VenueKind.AIRPORT:
+            region = terminal_region(region)
+        security = Security.OPEN if venue.free_wifi else Security.WPA2_PSK
+        for ssid in venue.wifi_ssids:
+            for _ in range(venue.ap_count):
+                out.append(
+                    AccessPoint(
+                        ssid=ssid,
+                        security=security,
+                        location=region.sample(rng),
+                        source=f"venue:{venue.name}",
+                    )
+                )
+    return out
+
+
+def _shop_aps(
+    count: int, classes: _PlacementClasses, rng: np.random.Generator
+) -> List[AccessPoint]:
+    names = textgen.unique_names(count, textgen.shop_ssid, rng)
+    out: List[AccessPoint] = []
+    for name in names:
+        # Shops cluster at street level with a sprinkle inside hot venues.
+        klass = "hot" if rng.random() < 0.013 else "street"
+        security = Security.OPEN if rng.random() < 0.70 else Security.WPA2_PSK
+        out.append(
+            AccessPoint(
+                ssid=name,
+                security=security,
+                location=classes.sample(klass, rng),
+                source="shop",
+            )
+        )
+    return out
+
+
+def _residential_aps(
+    count: int, classes: _PlacementClasses, rng: np.random.Generator
+) -> List[AccessPoint]:
+    out: List[AccessPoint] = []
+    for _ in range(count):
+        security = Security.OPEN if rng.random() < 0.15 else Security.WPA2_PSK
+        # Apartments sit above the shops downtown too: 45% of home
+        # routers land at street level, which is what makes the
+        # nearest-100 around any central venue mostly unique SSIDs.
+        klass = "street" if rng.random() < 0.45 else "residential"
+        out.append(
+            AccessPoint(
+                ssid=textgen.home_router_ssid(rng),
+                security=security,
+                location=classes.sample(klass, rng),
+                source="residential",
+            )
+        )
+    return out
+
+
+ATTACK_VENUE_KINDS = (
+    VenueKind.CANTEEN,
+    VenueKind.SUBWAY_PASSAGE,
+    VenueKind.SHOPPING_CENTER,
+    VenueKind.RAILWAY_STATION,
+)
+"""Venue kinds the paper deploys attackers at; each gets an urban-canyon
+AP cluster."""
+
+
+def _urban_canyon_aps(
+    venues: Sequence[Venue],
+    rng: np.random.Generator,
+    n_residential: int = 420,
+    n_shops: int = 130,
+    radius: float = 250.0,
+) -> List[AccessPoint]:
+    """Dense unique-SSID clusters around the attack venues.
+
+    The paper's sites sit under residential towers and shopping arcades:
+    the WiGLE networks geographically nearest such a spot are hundreds
+    of one-off home routers and small shops, not city chains.  This is
+    what starves the preliminary design's nearest-100 seeding in the
+    passage (Table III).
+    """
+    out: List[AccessPoint] = []
+    for venue in venues:
+        if venue.kind not in ATTACK_VENUE_KINDS:
+            continue
+        center = venue.region.center
+        disc = Rect(
+            center.x - radius, center.y - radius, center.x + radius, center.y + radius
+        )
+        for _ in range(n_residential):
+            security = Security.OPEN if rng.random() < 0.15 else Security.WPA2_PSK
+            out.append(
+                AccessPoint(
+                    ssid=textgen.home_router_ssid(rng),
+                    security=security,
+                    location=disc.sample(rng),
+                    source="residential",
+                )
+            )
+        for name in textgen.unique_names(n_shops, textgen.shop_ssid, rng):
+            security = Security.OPEN if rng.random() < 0.70 else Security.WPA2_PSK
+            out.append(
+                AccessPoint(
+                    ssid=name,
+                    security=security,
+                    location=disc.sample(rng),
+                    source="shop",
+                )
+            )
+    return out
+
+
+def deploy_access_points(
+    bounds: Rect,
+    venues: Sequence[Venue],
+    chains: Sequence[ChainSpec],
+    n_shops: int,
+    n_residential: int,
+    rng: np.random.Generator,
+) -> List[AccessPoint]:
+    """Deploy the full AP population of the city."""
+    classes = _PlacementClasses(bounds, venues)
+    aps: List[AccessPoint] = []
+    aps.extend(_chain_aps(chains, classes, rng))
+    aps.extend(_venue_aps(venues, rng))
+    aps.extend(_shop_aps(n_shops, classes, rng))
+    aps.extend(_residential_aps(n_residential, classes, rng))
+    aps.extend(_urban_canyon_aps(venues, rng))
+    return aps

@@ -1,0 +1,159 @@
+"""Chain-store and public-hotspot SSID catalog.
+
+Each :class:`ChainSpec` describes one city-wide SSID: how many APs carry
+it, where those APs sit (mix over location classes), whether it is open,
+and its *adoption* — the probability that a random urbanite has it in
+their PNL.  The named entries reproduce the SSIDs the paper calls out
+(`7-Eleven Free Wifi`, `-Free HKBN Wi-Fi-`, `#HKAirport Free WiFi`,
+`Free Public WiFi`, `FREE 3Y5 AdWiFi`, `CSL`, `CMCC-WEB`, …) with AP
+counts and placements chosen so that Table IV's two rankings come out as
+published: HKBN/7-Eleven/Circle K/CSL/CMCC-WEB lead by AP count, while
+heat ranking promotes `Free Public WiFi` and the airport network.
+
+Adoption values are scaled by ``ADOPTION_SCALE`` during calibration; the
+unscaled numbers encode only the *relative* popularity of the networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dot11.capabilities import Security
+
+
+@dataclass(frozen=True)
+class PlacementMix:
+    """Where a chain's APs go: weights over location classes.
+
+    Classes: ``hot`` (malls, shopping centres, railway station),
+    ``street`` (central-district street level), ``residential``
+    (residential districts), ``airport`` (airport terminal).
+    Weights must be non-negative and sum to 1.
+    """
+
+    hot: float = 0.0
+    street: float = 0.0
+    residential: float = 0.0
+    airport: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.hot + self.street + self.residential + self.airport
+        if any(w < 0 for w in (self.hot, self.street, self.residential, self.airport)):
+            raise ValueError("placement weights must be non-negative")
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("placement weights must sum to 1, got %r" % total)
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """One public SSID deployed at many locations."""
+
+    name: str
+    ap_count: int
+    placement: PlacementMix
+    adoption: float
+    security: Security = Security.OPEN
+
+    def __post_init__(self) -> None:
+        if self.ap_count <= 0:
+            raise ValueError("ap_count must be positive for %r" % self.name)
+        if not 0.0 <= self.adoption <= 1.0:
+            raise ValueError("adoption must be a probability for %r" % self.name)
+
+
+ADOPTION_SCALE = 0.30
+"""Global multiplier applied to every adoption probability; the one knob
+used to calibrate absolute hit-rate levels against the paper."""
+
+
+def default_chain_catalog() -> List[ChainSpec]:
+    """The ~40-entry public-SSID catalog of the synthetic city."""
+    street_heavy = PlacementMix(hot=0.01, street=0.60, residential=0.39)
+    return [
+        # --- the five biggest by AP count (Table IV, left column) -------
+        ChainSpec(
+            "-Free HKBN Wi-Fi-",
+            1083,
+            PlacementMix(hot=0.05, street=0.38, residential=0.57),
+            adoption=0.0262,
+        ),
+        ChainSpec("7-Eleven Free Wifi", 924, PlacementMix(hot=0.02,
+                  street=0.59, residential=0.39), adoption=0.0236),
+        ChainSpec("-Circle K Free Wi-Fi-", 742, PlacementMix(street=0.61,
+                  residential=0.39), adoption=0.0079),
+        ChainSpec(
+            "CSL", 668, PlacementMix(street=0.57, residential=0.43),
+            adoption=0.0157,
+        ),
+        ChainSpec("CMCC-WEB", 571, PlacementMix(street=0.61,
+                  residential=0.39), adoption=0.0066),
+        # --- promoted by heat (Table IV, right column) -------------------
+        ChainSpec(
+            "Free Public WiFi",
+            412,
+            PlacementMix(hot=0.70, street=0.30),
+            adoption=0.0210,
+        ),
+        ChainSpec(
+            "FREE 3Y5 AdWiFi",
+            302,
+            PlacementMix(hot=0.13, street=0.87),
+            adoption=0.0157,
+        ),
+        # (the airport network is deployed by its venue, not the catalog)
+        # --- other recognisable mid-tier networks ------------------------
+        ChainSpec("MTR Free Wi-Fi", 288, PlacementMix(hot=0.02, street=0.98),
+                  adoption=0.0197),
+        ChainSpec("McDonalds Free WiFi", 244, street_heavy, adoption=0.0258),
+        ChainSpec("Starbucks HK", 182, PlacementMix(hot=0.02, street=0.98),
+                  adoption=0.0157),
+        ChainSpec("Wi-Fi.HK via HKT", 260, street_heavy, adoption=0.0172),
+        ChainSpec("Pacific Coffee", 138, PlacementMix(hot=0.03, street=0.97),
+                  adoption=0.0105),
+        ChainSpec("KFC Free WiFi", 150, street_heavy, adoption=0.0138),
+        ChainSpec("Maxims Free WiFi", 120, street_heavy, adoption=0.0172),
+        ChainSpec("Cafe de Coral WiFi", 160, street_heavy, adoption=0.0138),
+        ChainSpec("Fairwood_FREE", 110, street_heavy, adoption=0.0138),
+        ChainSpec("Watsons Free WiFi", 125, street_heavy, adoption=0.0028),
+        ChainSpec("Mannings WiFi", 105, street_heavy, adoption=0.0028),
+        ChainSpec("Wellcome Free WiFi", 140, street_heavy, adoption=0.0035),
+        ChainSpec("ParknShop WiFi", 132, street_heavy, adoption=0.0035),
+        ChainSpec("HK Public Library WiFi", 90,
+                  PlacementMix(street=0.70, residential=0.30), adoption=0.0066),
+        ChainSpec("GovWiFi", 210, PlacementMix(hot=0.015, street=0.785,
+                  residential=0.20), adoption=0.0131),
+        ChainSpec("Delifrance WiFi", 60, street_heavy, adoption=0.0022),
+        ChainSpec("Genki Sushi WiFi", 55, street_heavy, adoption=0.0022),
+        ChainSpec("Yoshinoya Free WiFi", 70, street_heavy, adoption=0.0022),
+        ChainSpec("Broadway Cinema WiFi", 45, PlacementMix(hot=0.08, street=0.92),
+                  adoption=0.0085),
+        ChainSpec("UA Cinemas WiFi", 40, PlacementMix(hot=0.08, street=0.92),
+                  adoption=0.0066),
+        ChainSpec("Fortress Free WiFi", 58, street_heavy, adoption=0.0022),
+        ChainSpec("SmarTone WiFi", 190, street_heavy, adoption=0.0172),
+        ChainSpec("3Roam", 170, street_heavy, adoption=0.0138),
+        ChainSpec("Y5ZONE", 150, street_heavy, adoption=0.0035),
+        ChainSpec("FreeDuck", 80, street_heavy, adoption=0.0055),
+        ChainSpec("CityBus FreeWiFi", 95, street_heavy, adoption=0.0028),
+        ChainSpec("Ferry Pier WiFi", 35, PlacementMix(street=1.0), adoption=0.0021),
+        ChainSpec("Park WiFi HK", 85, PlacementMix(street=0.60, residential=0.40),
+                  adoption=0.0033),
+        ChainSpec("Museum Free WiFi", 30, PlacementMix(street=1.0), adoption=0.0021),
+        ChainSpec("Sports Centre WiFi", 42, PlacementMix(street=0.50,
+                  residential=0.50), adoption=0.0021),
+        ChainSpec("Night Market WiFi", 25, PlacementMix(street=1.0), adoption=0.0021),
+        ChainSpec("Temple Street Free WiFi", 22, PlacementMix(street=1.0),
+                  adoption=0.0021),
+        # --- a couple of big *secured* networks (never exploitable) ------
+        ChainSpec("eduroam", 320, PlacementMix(street=0.60, residential=0.40),
+                  adoption=0.030, security=Security.WPA2_ENTERPRISE),
+        ChainSpec("CorpNet-Secure", 260, PlacementMix(hot=0.10, street=0.70,
+                  residential=0.20), adoption=0.020,
+                  security=Security.WPA2_ENTERPRISE),
+    ]
+
+
+def scaled_adoption(spec: ChainSpec, scale: float = ADOPTION_SCALE) -> float:
+    """The calibrated probability that a random urbanite holds this SSID."""
+    return min(1.0, spec.adoption * scale)

@@ -1,0 +1,61 @@
+"""Synthetic geotagged photos.
+
+The paper estimates crowd density from photos people posted with
+geotags; we generate the equivalent: each venue emits a Poisson number of
+photos proportional to its crowd level (placed inside the venue — inside
+the terminal for the airport), plus a diffuse background of street-level
+photos over the central district and a sparse city-wide scatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.city.aps import terminal_region
+from repro.city.venues import Venue, VenueKind
+from repro.geo.point import Point
+from repro.geo.region import Rect
+
+
+@dataclass(frozen=True)
+class GeoPhoto:
+    """One geotagged photo — only the location matters to the heat map."""
+
+    location: Point
+
+
+def generate_photos(
+    bounds: Rect,
+    venues: Sequence[Venue],
+    rng: np.random.Generator,
+    photos_per_crowd_unit: float = 40.0,
+    background_photos: int = 30_000,
+) -> List[GeoPhoto]:
+    """Generate the photo corpus for one city instance."""
+    if photos_per_crowd_unit <= 0:
+        raise ValueError("photos_per_crowd_unit must be positive")
+    photos: List[GeoPhoto] = []
+    for venue in venues:
+        mean = venue.crowd_level * photos_per_crowd_unit
+        count = int(rng.poisson(mean))
+        region = venue.region
+        if venue.kind is VenueKind.AIRPORT:
+            # Travellers photograph the terminal, not the tarmac.
+            region = terminal_region(region)
+        for _ in range(count):
+            photos.append(GeoPhoto(region.sample(rng)))
+    # Street-level background over the central district.
+    central = Rect(
+        bounds.x0 + bounds.width * 0.30,
+        bounds.y0 + bounds.height * 0.30,
+        bounds.x0 + bounds.width * 0.72,
+        bounds.y0 + bounds.height * 0.62,
+    )
+    for _ in range(int(background_photos * 0.8)):
+        photos.append(GeoPhoto(central.sample(rng)))
+    for _ in range(int(background_photos * 0.2)):
+        photos.append(GeoPhoto(bounds.sample(rng)))
+    return photos

@@ -1,0 +1,179 @@
+"""Venues: the named places of the synthetic city.
+
+A venue is a rectangular area with a *kind* (canteen, subway passage,
+airport …), a crowd level that drives photo generation and visit
+probabilities, and a *local affinity*: the probability that a person
+found at the venue has the venue's own Wi-Fi in their PNL.  The four
+attack venues of the paper (subway passage, canteen, shopping centre,
+railway station) are present, plus the hot areas the paper names
+(airport, large malls) and background residential/office districts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.geo.region import Rect
+
+
+class VenueKind(enum.Enum):
+    """Coarse venue category; drives mobility and photo behaviour."""
+
+    CANTEEN = "canteen"
+    SUBWAY_PASSAGE = "subway_passage"
+    SHOPPING_CENTER = "shopping_center"
+    RAILWAY_STATION = "railway_station"
+    AIRPORT = "airport"
+    MALL = "mall"
+    RESIDENTIAL = "residential"
+    OFFICE = "office"
+    STREET = "street"
+
+
+@dataclass(frozen=True)
+class Venue:
+    """One named place in the city."""
+
+    name: str
+    kind: VenueKind
+    region: Rect
+    crowd_level: float
+    """Relative number of people passing through per day (photo intensity
+    and visit probability both scale with this)."""
+
+    local_affinity: float = 0.02
+    """P(a person at this venue has the venue's own open Wi-Fi in their
+    PNL).  High for a campus canteen full of regulars, low for a subway
+    passage full of one-time passersby."""
+
+    wifi_ssids: Tuple[str, ...] = field(default_factory=tuple)
+    """SSIDs of the venue's own APs (may be empty)."""
+
+    ap_count: int = 2
+    """How many APs the venue operates per SSID."""
+
+    free_wifi: bool = True
+    """Whether the venue Wi-Fi is open (auto-joinable)."""
+
+
+def default_venues() -> List[Venue]:
+    """The venue set used by every experiment.
+
+    The city is a 30 km x 30 km plane.  The four attack venues sit in the
+    central district; the airport is remote (as Chek Lap Kok is), which is
+    exactly what makes heat-based ranking beat nearest-N for it.
+    """
+    return [
+        # --- the four attack venues ------------------------------------
+        Venue(
+            name="University Canteen",
+            kind=VenueKind.CANTEEN,
+            region=Rect(14_000, 14_000, 14_060, 14_040),
+            crowd_level=25.0,
+            local_affinity=0.030,
+            wifi_ssids=("Uni Canteen Free WiFi",),
+            ap_count=3,
+        ),
+        Venue(
+            name="Central Subway Passage",
+            kind=VenueKind.SUBWAY_PASSAGE,
+            region=Rect(15_500, 14_800, 15_700, 14_815),
+            crowd_level=60.0,
+            local_affinity=0.008,
+            wifi_ssids=("MTR Passage WiFi",),
+            ap_count=2,
+        ),
+        Venue(
+            name="Harbour Shopping Center",
+            kind=VenueKind.SHOPPING_CENTER,
+            region=Rect(16_200, 15_400, 16_440, 15_590),
+            crowd_level=80.0,
+            local_affinity=0.03,
+            wifi_ssids=("Harbour SC Free WiFi",),
+            ap_count=5,
+        ),
+        Venue(
+            name="City Railway Station",
+            kind=VenueKind.RAILWAY_STATION,
+            region=Rect(13_000, 16_000, 13_250, 16_180),
+            crowd_level=110.0,
+            local_affinity=0.04,
+            wifi_ssids=("Station Free Wi-Fi",),
+            ap_count=6,
+        ),
+        # --- hot areas the paper names ----------------------------------
+        Venue(
+            name="International Airport",
+            kind=VenueKind.AIRPORT,
+            region=Rect(2_000, 4_000, 3_200, 4_800),
+            crowd_level=150.0,
+            local_affinity=0.0,
+            wifi_ssids=("#HKAirport Free WiFi",),
+            ap_count=231,
+        ),
+        Venue(
+            name="iSQUARE Mall",
+            kind=VenueKind.MALL,
+            region=Rect(17_000, 17_000, 17_150, 17_120),
+            crowd_level=90.0,
+            local_affinity=0.0,
+            wifi_ssids=("iSQUARE Free WiFi",),
+            ap_count=5,
+        ),
+        Venue(
+            name="the ONE Mall",
+            kind=VenueKind.MALL,
+            region=Rect(17_400, 16_800, 17_540, 16_930),
+            crowd_level=85.0,
+            local_affinity=0.0,
+            wifi_ssids=("the ONE Free WiFi",),
+            ap_count=5,
+        ),
+        Venue(
+            name="Ocean Mall",
+            kind=VenueKind.MALL,
+            region=Rect(11_500, 12_200, 11_650, 12_330),
+            crowd_level=70.0,
+            local_affinity=0.0,
+            wifi_ssids=("Ocean Mall WiFi",),
+            ap_count=5,
+        ),
+        # --- background districts ---------------------------------------
+        Venue(
+            name="Kowloon Residential",
+            kind=VenueKind.RESIDENTIAL,
+            region=Rect(9_000, 9_000, 21_000, 13_000),
+            crowd_level=8.0,
+            local_affinity=0.0,
+            wifi_ssids=(),
+            ap_count=0,
+        ),
+        Venue(
+            name="New Town Residential",
+            kind=VenueKind.RESIDENTIAL,
+            region=Rect(8_000, 19_000, 22_000, 24_000),
+            crowd_level=6.0,
+            local_affinity=0.0,
+            wifi_ssids=(),
+            ap_count=0,
+        ),
+        Venue(
+            name="Central Offices",
+            kind=VenueKind.OFFICE,
+            region=Rect(14_500, 15_000, 16_000, 16_000),
+            crowd_level=30.0,
+            local_affinity=0.0,
+            wifi_ssids=(),
+            ap_count=0,
+        ),
+    ]
+
+
+def venue_by_name(venues: List[Venue], name: str) -> Venue:
+    """Look up a venue by exact name; raises ``KeyError`` when missing."""
+    for v in venues:
+        if v.name == name:
+            return v
+    raise KeyError("no venue named %r" % name)

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the reproduction without writing
+any code:
+
+* ``run``      — one attack deployment; prints the Table-style summary
+  and optionally exports per-client CSV / summary JSON;
+* ``table``    — regenerate Table I, II, III or IV;
+* ``fig``      — regenerate Fig. 1, 2, 4 or 5/6 (optionally one venue);
+* ``report``   — regenerate everything and check every paper target;
+* ``city``     — print synthetic-city statistics and the heat map.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.export import clients_to_csv, session_to_json
+from repro.experiments.attackers import (
+    make_cityhunter,
+    make_cityhunter_basic,
+    make_karma,
+    make_mana,
+)
+from repro.experiments.calibration import all_profiles, default_city, venue_profile
+from repro.experiments.runner import run_experiment, shared_wigle
+from repro.util.tables import render_table
+
+ATTACKERS = ("karma", "mana", "cityhunter-basic", "cityhunter")
+
+
+def _attacker_factory(name: str, city, wigle):
+    if name == "karma":
+        return make_karma()
+    if name == "mana":
+        return make_mana()
+    if name == "cityhunter-basic":
+        return make_cityhunter_basic(wigle)
+    if name == "cityhunter":
+        return make_cityhunter(wigle, city.heatmap)
+    raise ValueError(f"unknown attacker {name!r}")
+
+
+def _positive_duration(value: str) -> float:
+    try:
+        duration = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number") from None
+    if duration <= 0:
+        raise argparse.ArgumentTypeError("duration must be positive seconds")
+    return duration
+
+
+# argparse prints the type callable's __name__ in error messages.
+_positive_duration.__name__ = "duration"
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    city = default_city(args.city_seed)
+    wigle = shared_wigle(args.city_seed)
+    profile = venue_profile(args.venue)
+    result = run_experiment(
+        city,
+        wigle,
+        _attacker_factory(args.attacker, city, wigle),
+        profile,
+        duration=args.duration,
+        seed=args.seed,
+        fidelity=args.fidelity,
+    )
+    print(
+        render_table(
+            ["Attack", "Total probes", "Direct/Broadcast", "Clients connected",
+             "h", "h_b"],
+            [result.summary.as_table_row(args.attacker)],
+            title=f"{args.attacker} at the {profile.venue_name} "
+            f"({args.duration:.0f}s, seed {args.seed})",
+        )
+    )
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(clients_to_csv(result.session))
+        print(f"per-client records written to {args.csv}")
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(session_to_json(result.session, label=args.attacker))
+        print(f"summary written to {args.json}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    maker = {
+        "1": tables.table1,
+        "2": tables.table2,
+        "3": tables.table3,
+        "4": tables.table4,
+    }[args.number]
+    result = maker() if args.number == "4" else maker(duration=args.duration)
+    print(result.render())
+    if args.number == "2":
+        share = tables.wigle_share_of_broadcast_hits(result.runs[1])
+        print(f"  WiGLE share of City-Hunter broadcast hits: {100 * share:.0f}%")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    if args.number == "1":
+        print(figures.fig1(duration=args.duration).render())
+    elif args.number == "2":
+        print(figures.fig2(duration=args.duration).render())
+    elif args.number == "4":
+        print(figures.fig4().render())
+    elif args.number in ("5", "6"):
+        venues = [args.venue] if args.venue else list(all_profiles())
+        slots = args.slots
+        for key in venues:
+            result = figures.fig5_venue(key, slots=slots)
+            print(
+                result.render()
+                if args.number == "5"
+                else result.render_breakdown()
+            )
+            print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    slots = None if args.full else (0, 4, 10)
+    text = generate_report(
+        duration=args.duration,
+        fig5_slots=slots,
+        fig5_slot_duration=args.slot_duration,
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_city(args: argparse.Namespace) -> int:
+    city = default_city(args.city_seed)
+    wigle = shared_wigle(args.city_seed)
+    from repro.wigle.queries import top_ssids_by_count, top_ssids_by_heat
+
+    print(f"APs: {len(city.aps)}   photos: {len(city.photos)}   "
+          f"venues: {len(city.venues)}")
+    print("\ntop-5 SSIDs by AP count:")
+    for ssid, count in top_ssids_by_count(wigle, 5):
+        print(f"  {count:5d}  {ssid}")
+    print("\ntop-5 SSIDs by heat value:")
+    for ssid, heat in top_ssids_by_heat(wigle, city.heatmap, 5):
+        print(f"  {int(heat):6d}  {ssid}")
+    if args.heatmap:
+        print("\n" + city.heatmap.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="City-Hunter (ICDCS 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one attack deployment")
+    run.add_argument("--attacker", choices=ATTACKERS, default="cityhunter")
+    run.add_argument("--venue", choices=sorted(all_profiles()), default="canteen")
+    run.add_argument("--duration", type=_positive_duration, default=1800.0)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--fidelity", choices=("frame", "burst"), default="frame")
+    run.add_argument("--city-seed", type=int, default=42)
+    run.add_argument("--csv", help="write per-client records to this file")
+    run.add_argument("--json", help="write the summary document to this file")
+    run.set_defaults(func=_cmd_run)
+
+    table = sub.add_parser("table", help="regenerate a table of the paper")
+    table.add_argument("number", choices=("1", "2", "3", "4"))
+    table.add_argument("--duration", type=_positive_duration, default=1800.0)
+    table.set_defaults(func=_cmd_table)
+
+    fig = sub.add_parser("fig", help="regenerate a figure of the paper")
+    fig.add_argument("number", choices=("1", "2", "4", "5", "6"))
+    fig.add_argument("--duration", type=_positive_duration, default=1800.0)
+    fig.add_argument("--venue", choices=sorted(all_profiles()))
+    fig.add_argument("--slots", type=int, nargs="*",
+                     help="restrict Fig 5/6 to these hourly slots (0-11)")
+    fig.set_defaults(func=_cmd_fig)
+
+    report = sub.add_parser(
+        "report", help="regenerate everything and check paper targets"
+    )
+    report.add_argument("--duration", type=_positive_duration, default=1800.0)
+    report.add_argument("--slot-duration", type=_positive_duration,
+                        default=3600.0)
+    report.add_argument("--full", action="store_true",
+                        help="run all 12 hourly Fig 5 slots per venue")
+    report.add_argument("--out", help="write the markdown report here")
+    report.set_defaults(func=_cmd_report)
+
+    city = sub.add_parser("city", help="inspect the synthetic city")
+    city.add_argument("--city-seed", type=int, default=42)
+    city.add_argument("--heatmap", action="store_true",
+                      help="also render the ASCII heat map")
+    city.set_defaults(func=_cmd_city)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""ARC-inspired buffer-size adaptation (paper Section IV-C).
+
+A hit on an SSID that was selected from the *ghost list* of a buffer is
+evidence that buffer is too small: ghost-of-PB hits grow PB by one (and
+shrink FB, keeping the total at 40); ghost-of-FB hits do the opposite.
+Both sizes are clamped so neither buffer disappears.
+"""
+
+from __future__ import annotations
+
+
+class AdaptiveSplit:
+    """Mutable PB/FB size state under the total-40 constraint."""
+
+    def __init__(
+        self,
+        total: int = 40,
+        initial_pb: int = 30,
+        min_size: int = 4,
+        enabled: bool = True,
+    ):
+        if not min_size <= initial_pb <= total - min_size:
+            raise ValueError(
+                "initial_pb %r out of range for total %r" % (initial_pb, total)
+            )
+        self.total = total
+        self.min_size = min_size
+        self.enabled = enabled
+        self._pb = initial_pb
+        self.adjustments = 0
+
+    @property
+    def pb_size(self) -> int:
+        """Current popularity-buffer size."""
+        return self._pb
+
+    @property
+    def fb_size(self) -> int:
+        """Current freshness-buffer size (= total - PB)."""
+        return self.total - self._pb
+
+    def on_hit(self, bucket: str) -> None:
+        """Feed one hit's provenance bucket into the adaptation."""
+        if not self.enabled:
+            return
+        if bucket == "pb_ghost":
+            if self._pb < self.total - self.min_size:
+                self._pb += 1
+                self.adjustments += 1
+        elif bucket == "fb_ghost":
+            if self._pb > self.min_size:
+                self._pb -= 1
+                self.adjustments += 1

@@ -1,0 +1,71 @@
+"""City-Hunter configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CityHunterConfig:
+    """All knobs of the advanced attacker (paper Section IV defaults)."""
+
+    n_nearby: int = 100
+    """Nearest free SSIDs seeded from WiGLE (weights 100…1)."""
+
+    n_popular: int = 200
+    """City-wide free SSIDs ranked by heat value (weights 200…1)."""
+
+    burst_total: int = 40
+    """SSIDs per response burst — the MinChannelTime reception ceiling."""
+
+    initial_pb: int = 28
+    """Initial popularity-buffer share of the 40 (FB gets the rest)."""
+
+    min_buffer: int = 4
+    """Neither buffer shrinks below this under adaptation."""
+
+    ghost_size: int = 20
+    """Length of each ghost list (paper: 20)."""
+
+    ghost_picks: int = 2
+    """Random SSIDs taken from each ghost list per response, replacing
+    the lowest entries of the owning buffer (paper: 2, i.e. 10%)."""
+
+    hit_weight_bonus: float = 8.0
+    """Weight added to an SSID on every successful hit (the 'updated
+    according to its actual hit record' rule)."""
+
+    direct_initial_weight: float = 110.0
+    """Initial weight of an SSID learned from a direct probe — below the
+    popularity head, so it must earn promotion through hits."""
+
+    direct_repeat_bump: float = 5.0
+    """Weight added when another client direct-probes a known SSID."""
+
+    recency_cap: int = 100
+    """Bound on the freshness recency list."""
+
+    carrier_ssids: Tuple[str, ...] = ()
+    """Sec. V-B extension: carrier hotspot SSIDs preloaded at high
+    weight (empty = extension disabled)."""
+
+    carrier_weight: float = 170.0
+
+    untried_lists: bool = True
+    """Ablation switch: when False the attacker forgets what it sent and
+    may repeat SSIDs to the same client (MANA-style resending)."""
+
+    adaptive: bool = True
+    """Ablation switch: when False the PB/FB split stays fixed."""
+
+    def __post_init__(self) -> None:
+        if self.burst_total <= 0:
+            raise ValueError("burst_total must be positive")
+        if not self.min_buffer <= self.initial_pb <= self.burst_total - self.min_buffer:
+            raise ValueError(
+                "initial_pb %r incompatible with burst_total %r / min_buffer %r"
+                % (self.initial_pb, self.burst_total, self.min_buffer)
+            )
+        if self.ghost_picks < 0 or self.ghost_size < self.ghost_picks:
+            raise ValueError("need 0 <= ghost_picks <= ghost_size")

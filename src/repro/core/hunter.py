@@ -1,0 +1,115 @@
+"""The advanced City-Hunter attacker (paper Section IV).
+
+Implements the four-step loop of Fig. 3: database initialisation from
+WiGLE + heat map, online updating (direct-probe harvest, hit-record
+weight bumps, freshness list), adaptive PB/FB selection with ghost-list
+exploration, and per-client untried bookkeeping.  Direct probes are
+handled KARMA-style, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.attacks.base import RogueAp
+from repro.city.heatmap import HeatMap
+from repro.core.adaptive import AdaptiveSplit
+from repro.core.config import CityHunterConfig
+from repro.core.seeding import seed_database
+from repro.core.selection import select_for_client
+from repro.core.ssid_database import WeightedSsidDatabase
+from repro.dot11.mac import MacAddress
+from repro.sim.simulation import Simulation
+from repro.wigle.database import WigleDatabase
+
+_EMPTY_SET: frozenset = frozenset()
+
+
+class CityHunter(RogueAp):
+    """The full adaptive attacker."""
+
+    name = "city-hunter"
+
+    def __init__(
+        self,
+        *args,
+        wigle: WigleDatabase,
+        heatmap: Optional[HeatMap],
+        config: Optional[CityHunterConfig] = None,
+        use_heat: bool = True,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.config = config if config is not None else CityHunterConfig()
+        self.db: WeightedSsidDatabase = seed_database(
+            wigle, heatmap, self.position, self.config, use_heat=use_heat
+        )
+        self.split = AdaptiveSplit(
+            total=self.config.burst_total,
+            initial_pb=self.config.initial_pb,
+            min_size=self.config.min_buffer,
+            enabled=self.config.adaptive,
+        )
+        self._tried: Dict[MacAddress, Set[str]] = {}
+        self._rng: Optional[np.random.Generator] = None
+
+    def start(self, sim: Simulation) -> None:
+        """Attach to the medium and claim an RNG stream for ghost picks."""
+        super().start(sim)
+        self._rng = sim.rngs.stream("cityhunter")
+        self.session.record_db_size(sim.now, len(self.db))
+
+    @property
+    def db_size(self) -> int:
+        """Current database size."""
+        return len(self.db)
+
+    # -- probe handling ---------------------------------------------------------
+
+    def on_broadcast_probe(self, client: MacAddress, time: float) -> None:
+        """Step 3+4: select and send the best untried SSIDs."""
+        if self.config.untried_lists:
+            tried = self._tried.setdefault(client, set())
+        else:
+            tried = _EMPTY_SET
+        metas = select_for_client(
+            self.db, tried, self.split, self.config, self._rng, now=time
+        )
+        if not metas:
+            return
+        if self.config.untried_lists:
+            tried.update(m.ssid for m in metas)
+        self.send_ssid_burst(client, metas, time)
+
+    def on_direct_probe(self, client: MacAddress, ssid: str, time: float) -> None:
+        """KARMA-style reflection plus online database updating."""
+        if ssid in self.db:
+            self.db.bump_weight(ssid, self.config.direct_repeat_bump)
+        else:
+            self.db.add(
+                ssid, self.config.direct_initial_weight, origin="direct", time=time
+            )
+            self.session.record_db_size(time, len(self.db))
+        entry = self.db.get(ssid)
+        entry.direct_seen = True
+        entry.last_direct_seen = time
+        self.send_mimic(client, ssid, time)
+
+    # -- online updating on hits ---------------------------------------------------
+
+    def on_hit(self, client: MacAddress, ssid: str, time: float) -> None:
+        """Step 2: weight bump, freshness update, buffer adaptation."""
+        record = self.session.clients.get(client)
+        bucket = record.hit_bucket if record is not None else None
+        broadcast_hit = bucket is not None and bucket != "mimic"
+        self.db.record_hit(
+            ssid,
+            time,
+            weight_bonus=self.config.hit_weight_bonus,
+            fresh=broadcast_hit,
+        )
+        self.db.trim_recency(self.config.recency_cap)
+        if broadcast_hit:
+            self.split.on_hit(bucket)

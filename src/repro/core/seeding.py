@@ -1,0 +1,57 @@
+"""Database initialisation (paper step 1, Section IV-B).
+
+Seeds the weighted database from the WiGLE registry.  Following the
+paper precisely: the ``n_popular`` city-wide SSIDs are *selected* by AP
+count (Section III-B) and then *ranked by heat value* (sum of photo-map
+heat over each SSID's APs) to assign rank-order ratio weights 200…1
+(Section IV-B) — selection-by-count keeps one-off cafés out of the
+database even when they sit in a photogenic mall.  The ``n_nearby``
+free SSIDs nearest the attack site get weights 100…1 by distance rank.
+SSIDs appearing in both lists keep the stronger weight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.city.heatmap import HeatMap
+from repro.core.config import CityHunterConfig
+from repro.core.ssid_database import WeightedSsidDatabase
+from repro.core.weights import rank_order_weights
+from repro.geo.point import Point
+from repro.wigle.database import WigleDatabase
+from repro.wigle.queries import ssid_heat_values, top_ssids_by_count
+
+
+def seed_database(
+    wigle: WigleDatabase,
+    heatmap: Optional[HeatMap],
+    position: Point,
+    config: CityHunterConfig = CityHunterConfig(),
+    use_heat: bool = True,
+) -> WeightedSsidDatabase:
+    """Build the initial database for an attacker at ``position``.
+
+    ``use_heat=False`` is the ablation that ranks the city-wide SSIDs by
+    plain AP count instead of heat value (Table IV, left column) —
+    the comparison the paper uses to motivate the heat map.
+    """
+    db = WeightedSsidDatabase()
+    by_count = [s for s, _ in top_ssids_by_count(wigle, config.n_popular)]
+    if use_heat:
+        if heatmap is None:
+            raise ValueError("heat ranking requested but no heat map given")
+        heats = ssid_heat_values(wigle, heatmap)
+        popular = sorted(by_count, key=lambda s: (-heats.get(s, 0.0), s))
+    else:
+        popular = by_count
+    for ssid, weight in zip(popular, rank_order_weights(len(popular))):
+        db.add(ssid, weight, origin="wigle")
+
+    nearby = wigle.nearest_free_ssids(position, config.n_nearby)
+    for ssid, weight in zip(nearby, rank_order_weights(len(nearby))):
+        db.add(ssid, weight, origin="wigle")
+
+    for ssid in config.carrier_ssids:
+        db.add(ssid, config.carrier_weight, origin="carrier")
+    return db

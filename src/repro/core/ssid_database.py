@@ -1,0 +1,123 @@
+"""The weighted SSID database.
+
+Entries carry a popularity *weight* (seeded from WiGLE heat rank, bumped
+on every successful hit) and freshness state (time of last hit).  The
+two orderings the selection step needs — by weight and by recency of
+hit — are both served from caches that invalidate on mutation, keeping
+per-probe selection cheap even for thousands of probes per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SsidEntry:
+    """One database entry."""
+
+    ssid: str
+    weight: float
+    origin: str
+    added_at: float = 0.0
+    hits: int = 0
+    last_hit: float = float("-inf")
+    direct_seen: bool = False
+    """Whether any client has ever direct-probed this SSID."""
+
+    last_direct_seen: float = float("-inf")
+    """When this SSID was last seen in a direct probe — the Fig. 6
+    source-attribution uses a recency window over this."""
+
+
+class WeightedSsidDatabase:
+    """Weight- and recency-indexed SSID store."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SsidEntry] = {}
+        self._ranked: Optional[List[SsidEntry]] = None
+        self._recency: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ssid: str) -> bool:
+        return ssid in self._entries
+
+    def get(self, ssid: str) -> Optional[SsidEntry]:
+        """The entry for ``ssid`` or None."""
+        return self._entries.get(ssid)
+
+    def add(
+        self, ssid: str, weight: float, origin: str, time: float = 0.0
+    ) -> bool:
+        """Insert a new entry; returns False (and keeps the stronger
+        weight) when the SSID is already present."""
+        existing = self._entries.get(ssid)
+        if existing is not None:
+            if weight > existing.weight:
+                existing.weight = weight
+                self._ranked = None
+            return False
+        self._entries[ssid] = SsidEntry(
+            ssid=ssid, weight=weight, origin=origin, added_at=time
+        )
+        self._ranked = None
+        return True
+
+    def bump_weight(self, ssid: str, delta: float) -> None:
+        """Increase an entry's weight (no-op for unknown SSIDs)."""
+        entry = self._entries.get(ssid)
+        if entry is None:
+            return
+        entry.weight += delta
+        self._ranked = None
+
+    def record_hit(
+        self, ssid: str, time: float, weight_bonus: float = 0.0, fresh: bool = True
+    ) -> None:
+        """Mark a successful hit: weight bonus, plus freshness front-of-
+        line when ``fresh``.
+
+        The paper updates the freshness side only for hits on *broadcast*
+        probes (Section IV-B condition 1); KARMA-style mimic hits pass
+        ``fresh=False`` so one-off home routers never pollute the FB.
+        """
+        entry = self._entries.get(ssid)
+        if entry is None:
+            return
+        entry.hits += 1
+        entry.last_hit = time
+        if weight_bonus:
+            entry.weight += weight_bonus
+            self._ranked = None
+        if not fresh:
+            return
+        try:
+            self._recency.remove(ssid)
+        except ValueError:
+            pass
+        self._recency.insert(0, ssid)
+
+    def ranked(self) -> List[SsidEntry]:
+        """Entries by weight descending (ties broken by SSID for
+        determinism).  Cached between mutations."""
+        if self._ranked is None:
+            self._ranked = sorted(
+                self._entries.values(), key=lambda e: (-e.weight, e.ssid)
+            )
+        return self._ranked
+
+    def recent_hits(self) -> List[str]:
+        """SSIDs by recency of last hit, most recent first."""
+        return self._recency
+
+    def trim_recency(self, cap: int) -> None:
+        """Bound the recency list (old entries fall off the end)."""
+        if cap >= 0 and len(self._recency) > cap:
+            del self._recency[cap:]
+
+    def total_hits(self) -> int:
+        """Sum of hit counts over all entries."""
+        return sum(e.hits for e in self._entries.values())

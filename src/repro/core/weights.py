@@ -1,0 +1,30 @@
+"""Rank-order weighting.
+
+The paper assigns seeded SSIDs weights by "the ratio method proposed in
+[Barron & Barrett 1996]": rank the selected SSIDs, give the top one
+weight ``n`` and the bottom one weight 1 — i.e. weights decrease
+linearly with rank.  (Table IV's 200 heat-ranked SSIDs get 200…1; the
+100 nearby SSIDs get 100…1.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def rank_order_weights(count: int, top: float = 0.0) -> List[float]:
+    """Weights for ranks 0..count-1, best first.
+
+    ``top`` overrides the weight of rank 0 (defaults to ``count`` as in
+    the paper); the bottom rank always gets weight 1, with linear
+    interpolation in between.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative, got %r" % count)
+    if count == 0:
+        return []
+    if count == 1:
+        return [top if top > 0 else 1.0]
+    top_w = top if top > 0 else float(count)
+    step = (top_w - 1.0) / (count - 1)
+    return [top_w - i * step for i in range(count)]

@@ -1,0 +1,21 @@
+"""Evil-twin countermeasures.
+
+The paper closes by noting that "existing techniques to detect evil twin
+APs ... can still work as effective countermeasures for the City-Hunter".
+This package implements two classic ones so their effectiveness can be
+measured against the reproduced attacks:
+
+* :class:`MultiSsidDetector` — a passive monitor flagging any BSSID that
+  advertises many distinct SSIDs (the signature of KARMA-family
+  attackers, who impersonate whatever is asked of them);
+* :class:`CanaryProbeDetector` — an active client that direct-probes
+  SSIDs that *cannot exist*; any responder is by construction a rogue.
+"""
+
+from repro.defenses.detector import (
+    CanaryProbeDetector,
+    DetectionEvent,
+    MultiSsidDetector,
+)
+
+__all__ = ["MultiSsidDetector", "CanaryProbeDetector", "DetectionEvent"]

@@ -1,0 +1,14 @@
+"""Smartphone Wi-Fi behaviour.
+
+A :class:`Phone` is a radio station driven by its person's PNL: it
+periodically active-scans (broadcast probe, plus direct probes on unsafe
+devices), collects probe responses within the 802.11 listening window,
+auto-joins the first response matching an open PNL entry, and completes
+the open-system authentication + association handshake.  Once associated
+it stops probing — unless de-authenticated, which restarts the cycle.
+"""
+
+from repro.devices.phone import Phone
+from repro.devices.profiles import ScanProfile
+
+__all__ = ["Phone", "ScanProfile"]

@@ -1,0 +1,59 @@
+"""Scan-behaviour profiles.
+
+Idle, unassociated phones rescan periodically; the interval varies by OS,
+screen state and vendor.  We draw one steady interval per phone from a
+uniform band — wide enough that passage walkers get 1-2 scans in radio
+range while canteen diners get many, which is exactly the contrast the
+paper's Fig. 2 documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScanProfile:
+    """Per-phone scan timing behaviour."""
+
+    interval_low: float = 30.0
+    interval_high: float = 120.0
+    """Bounds of the per-phone steady rescan interval (seconds)."""
+
+    first_scan_max_delay: float = 25.0
+    """The first scan after entering the scene happens within this many
+    seconds (phones arrive mid-cycle, not synchronised)."""
+
+    jitter_frac: float = 0.15
+    """Per-scan multiplicative jitter around the steady interval."""
+
+    assoc_timeout: float = 1.0
+    """Seconds to wait for handshake completion before rescanning."""
+
+    scan_channels: tuple = (6,)
+    """Channels visited per scan cycle, in order.  The experiments pin
+    phones to the attacker's channel (the attack is single-channel and
+    other channels contribute nothing but simulated airtime); pass
+    e.g. ``(1, 6, 11)`` to model a realistic hop sequence."""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.interval_low <= self.interval_high:
+            raise ValueError("need 0 < interval_low <= interval_high")
+        if not 0 <= self.jitter_frac < 1:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    def draw_interval(self, rng: np.random.Generator) -> float:
+        """The phone's steady rescan interval."""
+        return float(rng.uniform(self.interval_low, self.interval_high))
+
+    def jittered(self, interval: float, rng: np.random.Generator) -> float:
+        """One concrete gap: the steady interval with jitter applied."""
+        lo = 1.0 - self.jitter_frac
+        hi = 1.0 + self.jitter_frac
+        return interval * float(rng.uniform(lo, hi))
+
+
+DEFAULT_SCAN_PROFILE = ScanProfile()
+"""Shared default used by every scenario unless overridden."""

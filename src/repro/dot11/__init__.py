@@ -1,0 +1,54 @@
+"""802.11 substrate: addresses, frames, timing, and the radio medium.
+
+This package models exactly as much of IEEE 802.11 as the attacks in the
+paper observe: management frames for active scanning and association, the
+MinChannelTime listening window that caps how many probe responses a
+client can receive per scan, and a disc-propagation radio medium whose
+stations may move.
+"""
+
+from repro.dot11.capabilities import Security, NetworkProfile
+from repro.dot11.channel import Channel, ALL_2G_CHANNELS
+from repro.dot11.frames import (
+    AssocRequest,
+    AssocResponse,
+    AuthRequest,
+    AuthResponse,
+    Beacon,
+    Deauth,
+    Frame,
+    ProbeRequest,
+    ProbeResponse,
+)
+from repro.dot11.mac import MacAddress, random_client_mac, random_ap_mac
+from repro.dot11.medium import Medium, Station
+from repro.dot11.propagation import DiscPropagation, LogDistanceShadowing, Propagation
+from repro.dot11.ssid import Ssid, validate_ssid
+from repro.dot11.timing import ScanTiming
+
+__all__ = [
+    "Security",
+    "NetworkProfile",
+    "Channel",
+    "ALL_2G_CHANNELS",
+    "Frame",
+    "Beacon",
+    "ProbeRequest",
+    "ProbeResponse",
+    "AuthRequest",
+    "AuthResponse",
+    "AssocRequest",
+    "AssocResponse",
+    "Deauth",
+    "MacAddress",
+    "random_client_mac",
+    "random_ap_mac",
+    "Medium",
+    "Station",
+    "DiscPropagation",
+    "LogDistanceShadowing",
+    "Propagation",
+    "Ssid",
+    "validate_ssid",
+    "ScanTiming",
+]

@@ -1,0 +1,51 @@
+"""Network security capabilities.
+
+The attack only cares about one distinction: an *open* network lets the
+evil twin complete association and authentication automatically ("allows
+further association and authentication to be implemented automatically
+without user interaction", Section III-B); a protected network would
+require credentials the attacker does not have.  We still model the
+common modes so the synthetic city can have a realistic mix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dot11.ssid import Ssid, validate_ssid
+
+
+class Security(enum.Enum):
+    """Link-security mode advertised by an AP."""
+
+    OPEN = "open"
+    WEP = "wep"
+    WPA2_PSK = "wpa2-psk"
+    WPA2_ENTERPRISE = "wpa2-enterprise"
+
+    @property
+    def is_open(self) -> bool:
+        """Whether an evil twin can complete association unaided."""
+        return self is Security.OPEN
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """An (SSID, security) pair as remembered in a phone's PNL.
+
+    A phone will auto-join a probe-response SSID only when the SSID
+    matches *and* the remembered profile is open (a protected profile
+    would start a key handshake the evil twin cannot finish).
+    """
+
+    ssid: Ssid
+    security: Security = Security.OPEN
+
+    def __post_init__(self) -> None:
+        validate_ssid(self.ssid)
+
+    @property
+    def auto_joinable(self) -> bool:
+        """Whether an open evil twin advertising this SSID captures us."""
+        return self.security.is_open

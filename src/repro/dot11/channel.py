@@ -1,0 +1,25 @@
+"""2.4 GHz channel plan.
+
+The prototype attacker camps on a single channel; clients cycle through
+all channels during a scan.  Only the dwell-time arithmetic matters to the
+attack, so a channel is just an ``int`` with a validity check.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Channel = int
+
+ALL_2G_CHANNELS: Tuple[Channel, ...] = tuple(range(1, 14))
+"""Channels 1-13 (ETSI plan, as in Hong Kong)."""
+
+DEFAULT_ATTACK_CHANNEL: Channel = 6
+"""The channel the rogue AP camps on."""
+
+
+def validate_channel(channel: int) -> Channel:
+    """Return ``channel`` if it is a legal 2.4 GHz channel, else raise."""
+    if channel not in ALL_2G_CHANNELS:
+        raise ValueError("invalid 2.4 GHz channel: %r" % channel)
+    return channel

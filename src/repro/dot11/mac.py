@@ -1,0 +1,53 @@
+"""MAC addresses.
+
+Addresses are plain strings in canonical ``aa:bb:cc:dd:ee:ff`` form —
+cheap to hash and compare, which matters because the attacker keys its
+per-client untried lists by MAC.  Client MACs set the locally-administered
+bit the way modern OSes do for randomised probe MACs; AP MACs use a small
+pool of vendor OUIs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+import numpy as np
+
+MacAddress = str
+
+_MAC_RE = re.compile(r"^([0-9a-f]{2}:){5}[0-9a-f]{2}$")
+
+_AP_OUIS = ["00:1a:2b", "f4:ec:38", "84:d8:1b", "3c:84:6a", "b0:95:8e"]
+
+
+def is_valid_mac(mac: str) -> bool:
+    """Whether ``mac`` is a canonical lower-case colon-separated address."""
+    return bool(_MAC_RE.match(mac))
+
+
+def _octets_to_mac(octets: List[int]) -> MacAddress:
+    return ":".join(f"{o:02x}" for o in octets)
+
+
+def random_client_mac(rng: np.random.Generator) -> MacAddress:
+    """A random client MAC with the locally-administered bit set.
+
+    Modern phones randomise probe MACs; the attacker nevertheless sees a
+    stable MAC per client *per visit*, which is all the untried-list
+    bookkeeping needs (the paper keys its state the same way).
+    """
+    octets = [int(b) for b in rng.integers(0, 256, size=6)]
+    octets[0] = (octets[0] & 0xFC) | 0x02  # locally administered, unicast
+    return _octets_to_mac(octets)
+
+
+def random_ap_mac(rng: np.random.Generator) -> MacAddress:
+    """A random AP BSSID drawn from a small vendor-OUI pool."""
+    oui = _AP_OUIS[int(rng.integers(len(_AP_OUIS)))]
+    tail = ":".join(f"{int(b):02x}" for b in rng.integers(0, 256, size=3))
+    return f"{oui}:{tail}"
+
+
+BROADCAST_MAC: MacAddress = "ff:ff:ff:ff:ff:ff"
+"""The broadcast destination address."""

@@ -1,0 +1,205 @@
+"""The shared radio medium.
+
+Stations register with the medium; a transmission is delivered, after its
+airtime, to every registered station inside the sender's transmission
+range (disc propagation) — or to the addressed station only, for unicast
+frames.  Positions are evaluated lazily via ``position_at(now)`` so moving
+stations need no position-update events.
+
+Two fidelity modes share all delivery logic:
+
+* ``frame``  — every probe response in a burst is its own scheduled
+  delivery event (used by tests and small runs);
+* ``burst``  — one event delivers the whole response burst and the
+  receiver applies the same window arithmetic analytically (used by the
+  12-hour Fig. 5 sweeps).  An integration test pins the two modes to
+  identical hit counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.dot11.frames import Frame, ProbeResponse
+from repro.dot11.mac import BROADCAST_MAC, MacAddress
+from repro.dot11.propagation import DiscPropagation, Propagation
+from repro.geo.point import Point
+from repro.sim.simulation import Simulation
+from repro.util.units import MANAGEMENT_FRAME_AIRTIME_S, PROBE_RESPONSE_AIRTIME_S
+
+
+class Station(Protocol):
+    """What the medium requires of anything attached to it."""
+
+    mac: MacAddress
+
+    def position_at(self, time: float) -> Point:
+        """Location of the station at simulation time ``time``."""
+        ...
+
+    def receive(self, frame: Frame, time: float) -> None:
+        """Handle one delivered frame."""
+        ...
+
+
+class Medium:
+    """Disc-propagation broadcast medium with per-station TX range."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        fidelity: str = "frame",
+        loss_rate: float = 0.0,
+        propagation: Optional[Propagation] = None,
+    ):
+        if fidelity not in ("frame", "burst"):
+            raise ValueError("fidelity must be 'frame' or 'burst', got %r" % fidelity)
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1), got %r" % loss_rate)
+        self.sim = sim
+        self.fidelity = fidelity
+        self.loss_rate = loss_rate
+        self.propagation = propagation if propagation is not None else DiscPropagation()
+        self._stations: Dict[MacAddress, Station] = {}
+        self._ranges: Dict[MacAddress, float] = {}
+        self._monitors: Dict[MacAddress, Station] = {}
+        self._rng = sim.rngs.stream("medium")
+        self.frames_delivered = 0
+
+    # -- membership -------------------------------------------------------
+
+    def attach(
+        self, station: Station, tx_range: float, promiscuous: bool = False
+    ) -> None:
+        """Register ``station`` with transmission range ``tx_range`` metres.
+
+        ``promiscuous`` stations additionally overhear every frame in
+        radio range regardless of its destination address — monitor mode,
+        as used by the evil-twin detectors.
+        """
+        if tx_range <= 0:
+            raise ValueError("tx_range must be positive, got %r" % tx_range)
+        self._stations[station.mac] = station
+        self._ranges[station.mac] = tx_range
+        if promiscuous:
+            self._monitors[station.mac] = station
+
+    def detach(self, mac: MacAddress) -> None:
+        """Remove a station; unknown MACs are ignored (already gone)."""
+        self._stations.pop(mac, None)
+        self._ranges.pop(mac, None)
+        self._monitors.pop(mac, None)
+
+    def is_attached(self, mac: MacAddress) -> bool:
+        """Whether a station with this MAC is currently registered."""
+        return mac in self._stations
+
+    @property
+    def station_count(self) -> int:
+        """Number of attached stations."""
+        return len(self._stations)
+
+    # -- propagation ------------------------------------------------------
+
+    def _in_range(self, sender: Station, receiver: Station, time: float) -> bool:
+        reach = self._ranges[sender.mac]
+        distance = sender.position_at(time).distance_to(
+            receiver.position_at(time)
+        )
+        return self.propagation.delivered(distance, reach, self._rng)
+
+    def _lost(self) -> bool:
+        return self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+
+    def _recipients(self, sender: Station, frame: Frame, time: float) -> List[Station]:
+        if frame.dst != BROADCAST_MAC:
+            out = []
+            target = self._stations.get(frame.dst)
+            if target is not None and self._in_range(sender, target, time):
+                out.append(target)
+            for mac, monitor in list(self._monitors.items()):
+                if (
+                    mac != sender.mac
+                    and mac != frame.dst
+                    and self._in_range(sender, monitor, time)
+                ):
+                    out.append(monitor)
+            return out
+        return [
+            st
+            for mac, st in list(self._stations.items())
+            if mac != sender.mac and self._in_range(sender, st, time)
+        ]
+
+    def transmit(
+        self,
+        sender: Station,
+        frame: Frame,
+        airtime: float = MANAGEMENT_FRAME_AIRTIME_S,
+    ) -> None:
+        """Send one frame; delivery happens ``airtime`` seconds from now.
+
+        Recipients are resolved at *delivery* time so a walker that left
+        range mid-flight genuinely misses the frame.
+        """
+        self.sim.at(airtime, self._deliver, sender, frame)
+
+    def _deliver(self, sender: Station, frame: Frame) -> None:
+        now = self.sim.now
+        if sender.mac not in self._stations:
+            return  # sender departed while the frame was in flight
+        for station in self._recipients(sender, frame, now):
+            if self._lost():
+                continue
+            self.frames_delivered += 1
+            station.receive(frame, now)
+
+    # -- probe-response bursts -------------------------------------------
+
+    def transmit_response_burst(
+        self,
+        sender: Station,
+        responses: Sequence[ProbeResponse],
+        spacing: float = PROBE_RESPONSE_AIRTIME_S,
+    ) -> None:
+        """Send back-to-back probe responses, one every ``spacing`` seconds.
+
+        In ``frame`` fidelity each response is its own delivery event at
+        ``(i + 1) * spacing``; in ``burst`` fidelity one event carries the
+        whole sequence and receivers that implement ``receive_burst``
+        apply the scan-window arithmetic analytically.
+        """
+        if not responses:
+            return
+        if self.fidelity == "frame":
+            for i, resp in enumerate(responses):
+                self.sim.at((i + 1) * spacing, self._deliver, sender, resp)
+            return
+        self.sim.at(spacing, self._deliver_burst, sender, list(responses), spacing)
+
+    def _deliver_burst(
+        self, sender: Station, responses: List[ProbeResponse], spacing: float
+    ) -> None:
+        now = self.sim.now
+        if sender.mac not in self._stations:
+            return
+        first = responses[0]
+        for mac, monitor in list(self._monitors.items()):
+            if (
+                mac != sender.mac
+                and mac != first.dst
+                and self._in_range(sender, monitor, now)
+            ):
+                for resp in responses:
+                    monitor.receive(resp, now)
+        target: Optional[Station] = self._stations.get(first.dst)
+        if target is None or not self._in_range(sender, target, now):
+            return
+        receive_burst = getattr(target, "receive_burst", None)
+        if receive_burst is not None:
+            self.frames_delivered += len(responses)
+            receive_burst(responses, now, spacing)
+            return
+        for resp in responses:  # fall back to per-frame delivery
+            self.frames_delivered += 1
+            target.receive(resp, now)

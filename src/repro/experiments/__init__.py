@@ -1,0 +1,27 @@
+"""Experiment harness: scenarios, runner, and table/figure generators.
+
+Each public function regenerates one table or figure of the paper on
+the synthetic substrate; the benchmarks under ``benchmarks/`` are thin
+wrappers around these.
+"""
+
+from repro.experiments.calibration import VenueProfile, venue_profile, default_city
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.attackers import (
+    make_karma,
+    make_mana,
+    make_cityhunter_basic,
+    make_cityhunter,
+)
+
+__all__ = [
+    "VenueProfile",
+    "venue_profile",
+    "default_city",
+    "ExperimentResult",
+    "run_experiment",
+    "make_karma",
+    "make_mana",
+    "make_cityhunter_basic",
+    "make_cityhunter",
+]

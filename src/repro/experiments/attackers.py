@@ -1,0 +1,75 @@
+"""Attacker factories for the experiment runner.
+
+Each returns a callable matching ``attacker_factory(sim, medium, venue)``
+so scenarios stay agnostic of attacker construction details.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.attacks.cityhunter_basic import CityHunterBasic
+from repro.attacks.karma import KarmaAttacker
+from repro.attacks.mana import ManaAttacker
+from repro.city.heatmap import HeatMap
+from repro.core.config import CityHunterConfig
+from repro.core.hunter import CityHunter
+from repro.dot11.mac import random_ap_mac
+from repro.wigle.database import WigleDatabase
+
+AttackerFactory = Callable
+
+
+def _attacker_mac(sim):
+    return random_ap_mac(sim.rngs.stream("attacker_mac"))
+
+
+def make_karma() -> AttackerFactory:
+    """A KARMA attacker at the venue centre."""
+
+    def factory(sim, medium, venue):
+        return KarmaAttacker(_attacker_mac(sim), venue.region.center, medium)
+
+    return factory
+
+
+def make_mana() -> AttackerFactory:
+    """A MANA attacker at the venue centre."""
+
+    def factory(sim, medium, venue):
+        return ManaAttacker(_attacker_mac(sim), venue.region.center, medium)
+
+    return factory
+
+
+def make_cityhunter_basic(wigle: WigleDatabase) -> AttackerFactory:
+    """The Section III preliminary design (untried lists + WiGLE)."""
+
+    def factory(sim, medium, venue):
+        return CityHunterBasic(
+            _attacker_mac(sim), venue.region.center, medium, wigle=wigle
+        )
+
+    return factory
+
+
+def make_cityhunter(
+    wigle: WigleDatabase,
+    heatmap: Optional[HeatMap],
+    config: Optional[CityHunterConfig] = None,
+    use_heat: bool = True,
+) -> AttackerFactory:
+    """The advanced Section IV attacker."""
+
+    def factory(sim, medium, venue):
+        return CityHunter(
+            _attacker_mac(sim),
+            venue.region.center,
+            medium,
+            wigle=wigle,
+            heatmap=heatmap,
+            config=config,
+            use_heat=use_heat,
+        )
+
+    return factory

@@ -1,0 +1,96 @@
+"""The experiment runner: scenario in, finished session out."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import SessionSummary, summarize
+from repro.analysis.session import AttackSession
+from repro.city.model import City
+from repro.experiments.calibration import (
+    GROUP_PROBS_BASE,
+    GROUP_PROBS_RUSH,
+    VenueProfile,
+    default_city,
+)
+from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.population.groups import GroupModel
+from repro.population.pnl import PnlModel
+from repro.wigle.database import WigleDatabase
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produced."""
+
+    session: AttackSession
+    summary: SessionSummary
+    attacker: object
+    duration: float
+    people_spawned: int
+
+    @property
+    def h(self) -> float:
+        """Overall hit rate."""
+        return self.summary.hit_rate
+
+    @property
+    def h_b(self) -> float:
+        """Broadcast hit rate."""
+        return self.summary.broadcast_hit_rate
+
+
+@functools.lru_cache(maxsize=4)
+def shared_wigle(city_seed: int = 42) -> WigleDatabase:
+    """WiGLE registry over the shared default city (cached)."""
+    return WigleDatabase.from_access_points(default_city(city_seed).aps)
+
+
+def run_experiment(
+    city: City,
+    wigle: WigleDatabase,
+    attacker_factory,
+    profile: VenueProfile,
+    duration: float,
+    people_per_min: Optional[float] = None,
+    seed: int = 0,
+    fidelity: str = "frame",
+    rush: bool = False,
+    group_probs: Optional[Sequence[float]] = None,
+    pnl_model: Optional[PnlModel] = None,
+    group_model: Optional[GroupModel] = None,
+) -> ExperimentResult:
+    """Run one attack deployment and summarise it."""
+    if group_probs is None:
+        group_probs = GROUP_PROBS_RUSH if rush else GROUP_PROBS_BASE
+    config = ScenarioConfig(
+        venue_name=profile.venue_name,
+        mobility=profile.mobility,
+        people_per_min=(
+            people_per_min
+            if people_per_min is not None
+            else profile.people_per_min_30min_test
+        ),
+        duration=duration,
+        seed=seed,
+        fidelity=fidelity,
+        group_probs=tuple(group_probs),
+        dwell_mean=profile.dwell_mean,
+        hybrid_static_share=profile.hybrid_static_share,
+        quick_share=profile.quick_share,
+        pnl_model=pnl_model,
+        group_model=group_model,
+    )
+    build = build_scenario(city, wigle, config, attacker_factory)
+    # Let in-flight visits and handshakes complete a little past the end.
+    build.sim.run(duration + 30.0)
+    session = build.attacker.session
+    return ExperimentResult(
+        session=session,
+        summary=summarize(session),
+        attacker=build.attacker,
+        duration=duration,
+        people_spawned=build.arrivals.people_spawned,
+    )

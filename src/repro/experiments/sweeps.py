@@ -1,0 +1,90 @@
+"""Parameter sweeps over attack deployments.
+
+A declarative grid runner used by the sensitivity benchmarks and handy
+for downstream experimentation: vary one or two scenario knobs, run the
+deployment per cell, and collect summaries into a renderable grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import SessionSummary, summarize
+from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.util.tables import render_table
+
+
+@dataclass
+class SweepCell:
+    """One grid cell result."""
+
+    params: Dict[str, object]
+    summary: SessionSummary
+
+    @property
+    def h_b(self) -> float:
+        return self.summary.broadcast_hit_rate
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, in run order."""
+
+    varied: List[str]
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def render(self, title: str = "") -> str:
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                [str(cell.params[name]) for name in self.varied]
+                + [
+                    cell.summary.total_clients,
+                    f"{100 * cell.summary.hit_rate:.1f}%",
+                    f"{100 * cell.h_b:.1f}%",
+                ]
+            )
+        return render_table(
+            self.varied + ["clients", "h", "h_b"], rows, title=title
+        )
+
+    def series(self, param: str) -> List[tuple]:
+        """(param value, h_b) pairs for plotting."""
+        return [(cell.params[param], cell.h_b) for cell in self.cells]
+
+
+def sweep(
+    city,
+    wigle,
+    attacker_factory: Callable,
+    base_config: ScenarioConfig,
+    grid: Dict[str, Sequence],
+    run_extra: float = 30.0,
+) -> SweepResult:
+    """Run ``attacker_factory`` once per grid cell.
+
+    ``grid`` maps :class:`ScenarioConfig` field names to value lists;
+    the cartesian product is executed in a deterministic order (first
+    key varies slowest).  Each cell gets a fresh scenario built from
+    ``base_config`` with the cell's values substituted.
+    """
+    import dataclasses
+    import itertools
+
+    names = list(grid)
+    for name in names:
+        if not hasattr(base_config, name):
+            raise ValueError(f"ScenarioConfig has no field {name!r}")
+    result = SweepResult(varied=names)
+    for values in itertools.product(*(grid[n] for n in names)):
+        config = dataclasses.replace(base_config, **dict(zip(names, values)))
+        build = build_scenario(city, wigle, config, attacker_factory)
+        build.sim.run(config.duration + run_extra)
+        result.cells.append(
+            SweepCell(
+                params=dict(zip(names, values)),
+                summary=summarize(build.attacker.session),
+            )
+        )
+    return result

@@ -1,0 +1,47 @@
+"""Corridor walkers: commuters crossing a subway passage.
+
+Each walker enters at one end of the corridor, walks its length at a
+personal speed (lognormal around ~1.3 m/s), and leaves at the other end.
+Direction alternates randomly; the lateral position within the corridor
+width is random per walker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.geo.region import Rect
+from repro.mobility.base import PathMobility
+
+
+def corridor_walk(
+    corridor: Rect,
+    t_enter: float,
+    rng: np.random.Generator,
+    speed_mean: float = 1.3,
+    speed_sigma: float = 0.25,
+    extension: float = 40.0,
+) -> PathMobility:
+    """One straight walk through ``corridor`` along its long axis.
+
+    ``extension`` prolongs the path beyond both corridor ends so walkers
+    fade out of radio range naturally instead of vanishing at the exit.
+    """
+    speed = float(
+        rng.lognormal(np.log(speed_mean), speed_sigma)
+    )
+    speed = max(0.5, min(speed, 3.0))
+    along_x = corridor.width >= corridor.height
+    if along_x:
+        lateral = float(rng.uniform(corridor.y0, corridor.y1))
+        start = Point(corridor.x0 - extension, lateral)
+        end = Point(corridor.x1 + extension, lateral)
+    else:
+        lateral = float(rng.uniform(corridor.x0, corridor.x1))
+        start = Point(lateral, corridor.y0 - extension)
+        end = Point(lateral, corridor.y1 + extension)
+    if rng.random() < 0.5:
+        start, end = end, start
+    duration = start.distance_to(end) / speed
+    return PathMobility([(t_enter, start), (t_enter + duration, end)])

@@ -1,0 +1,30 @@
+"""Static dwellers: canteen diners, people waiting on a platform."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.region import Rect
+from repro.mobility.base import PathMobility
+
+
+def static_dwell(
+    region: Rect,
+    t_enter: float,
+    dwell_mean: float,
+    rng: np.random.Generator,
+    dwell_min: float = 120.0,
+) -> PathMobility:
+    """Sit at one random spot in ``region`` for an exponential dwell.
+
+    The dwell is ``dwell_min`` plus an exponential with the remaining
+    mean, matching how nobody leaves a canteen ten seconds after sitting
+    down but long lunches have a heavy tail.
+    """
+    if dwell_mean <= dwell_min:
+        raise ValueError(
+            "dwell_mean %r must exceed dwell_min %r" % (dwell_mean, dwell_min)
+        )
+    spot = region.sample(rng)
+    dwell = dwell_min + float(rng.exponential(dwell_mean - dwell_min))
+    return PathMobility([(t_enter, spot), (t_enter + dwell, spot)])

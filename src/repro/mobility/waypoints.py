@@ -1,0 +1,48 @@
+"""Waypoint wanderers: shoppers and travellers in malls and stations.
+
+A wanderer performs a few legs of random-waypoint motion inside the
+venue with a pause at each waypoint — the paper's "hybrid" pattern in
+which some people are near-static (long pauses) and others keep moving.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.geo.region import Rect
+from repro.mobility.base import PathMobility
+
+
+def waypoint_wander(
+    region: Rect,
+    t_enter: float,
+    rng: np.random.Generator,
+    legs_mean: float = 3.0,
+    pause_mean: float = 90.0,
+    speed_mean: float = 1.0,
+) -> PathMobility:
+    """Random-waypoint motion with pauses, ending with departure.
+
+    Total visit time emerges from the drawn legs/pauses; typical visits
+    span a few minutes (quick pass-through) to tens of minutes (browsing).
+    """
+    legs = 1 + int(rng.poisson(max(0.0, legs_mean - 1)))
+    knots: List[Tuple[float, Point]] = []
+    t = t_enter
+    pos = region.sample(rng)
+    knots.append((t, pos))
+    for _ in range(legs):
+        pause = float(rng.exponential(pause_mean))
+        if pause > 1.0:
+            t += pause
+            knots.append((t, pos))
+        target = region.sample(rng)
+        speed = max(0.4, float(rng.normal(speed_mean, 0.2)))
+        walk = pos.distance_to(target) / speed
+        t += max(walk, 1.0)
+        pos = target
+        knots.append((t, pos))
+    return PathMobility(knots)

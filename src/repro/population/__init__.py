@@ -1,0 +1,24 @@
+"""Synthetic population: people, their PNLs, and social groups.
+
+The crowd at a venue is generated on demand: each arrival draws a group
+of 1-4 people whose phones carry Preferred Network Lists synthesised
+from the city's generative story — home and work networks (mostly
+secured), the open public networks of the city (chains, hot venues)
+weighted by adoption, the attack venue's own local networks for regulars,
+carrier hotspots on iOS, and a personal long tail of small open shops.
+Group members share part of their PNLs (families and friends frequent
+the same places), which is the mechanism behind the paper's freshness
+buffer.
+"""
+
+from repro.population.person import OsFamily, PersonSpec
+from repro.population.pnl import PnlModel, VenueContext
+from repro.population.synthesis import PersonFactory
+
+__all__ = [
+    "OsFamily",
+    "PersonSpec",
+    "PnlModel",
+    "VenueContext",
+    "PersonFactory",
+]

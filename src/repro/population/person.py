@@ -1,0 +1,46 @@
+"""Person records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.dot11.capabilities import NetworkProfile
+
+
+class OsFamily(enum.Enum):
+    """Phone operating system; drives carrier PNL entries and probe habits."""
+
+    IOS = "ios"
+    ANDROID = "android"
+
+
+@dataclass
+class PersonSpec:
+    """One synthetic person and their phone's Wi-Fi state."""
+
+    person_id: int
+    os_family: OsFamily
+    pnl: Dict[str, NetworkProfile]
+    """Preferred Network List keyed by SSID."""
+
+    unsafe: bool = False
+    """Whether the phone still sends direct (SSID-revealing) probes — the
+    legacy behaviour MANA feeds on (~15 % of devices in the paper's
+    measurements)."""
+
+    direct_probe_ssids: Tuple[str, ...] = field(default_factory=tuple)
+    """The PNL entries this phone reveals in direct probes (biased towards
+    home/work networks, which are configured as hidden more often)."""
+
+    group_id: int = -1
+    """Social-group identifier (-1 when solo)."""
+
+    def open_pnl_ssids(self) -> Tuple[str, ...]:
+        """SSIDs of PNL entries an open evil twin can satisfy."""
+        return tuple(s for s, p in self.pnl.items() if p.auto_joinable)
+
+    def has_open_entry(self) -> bool:
+        """Whether the phone would auto-join at least one open network."""
+        return any(p.auto_joinable for p in self.pnl.values())

@@ -1,0 +1,35 @@
+"""Simulation clock.
+
+Time is a float number of seconds since the start of the run.  The clock
+only ever moves forward; the scheduler is the single writer.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic simulation clock (seconds)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before t=0, got %r" % start)
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises ``ValueError`` on any attempt to move backwards — that
+        always indicates a scheduler bug, never a legitimate request.
+        """
+        if t < self._now:
+            raise ValueError(
+                "clock cannot move backwards: now=%r requested=%r" % (self._now, t)
+            )
+        self._now = t

@@ -1,0 +1,103 @@
+"""Binary-heap event scheduler with lazy cancellation."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import EventHandle
+
+
+class Scheduler:
+    """Priority queue of timed callbacks driving a :class:`Clock`.
+
+    The scheduler is the only component allowed to advance the clock; it
+    does so just before invoking each callback, so a callback always
+    observes ``clock.now`` equal to its own fire time.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock if clock is not None else Clock()
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._fired = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past: delay=%r" % delay)
+        return self.schedule_at(self.clock.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute time ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                "cannot schedule into the past: now=%r time=%r" % (self.clock.now, time)
+            )
+        handle = EventHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still queued (excludes cancelled)."""
+        return sum(1 for e in self._heap if e.alive)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events that have been executed."""
+        return self._fired
+
+    def peek_time(self) -> Optional[float]:
+        """Fire time of the next live event, or None if the queue is empty."""
+        self._drop_dead()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_dead(self) -> None:
+        while self._heap and not self._heap[0].alive:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns False if none remain."""
+        self._drop_dead()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        event._mark_fired()
+        self._fired += 1
+        event.fn(*event.args)
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events with fire time <= ``end_time``, then set the clock there.
+
+        Events scheduled beyond ``end_time`` stay queued, so a simulation
+        can be resumed with a later deadline.
+        """
+        if end_time < self.clock.now:
+            raise ValueError(
+                "end_time %r is before now %r" % (end_time, self.clock.now)
+            )
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+        self.clock.advance_to(end_time)
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely; returns the number of events fired.
+
+        ``max_events`` is a runaway guard: exceeding it raises
+        ``RuntimeError`` instead of looping forever on self-rescheduling
+        bugs.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise RuntimeError("run_all exceeded %d events" % max_events)
+        return count

@@ -1,0 +1,79 @@
+"""The :class:`Simulation` facade.
+
+Owns the clock, scheduler, RNG registry and trace; higher layers register
+entities against it.  An *entity* is anything with a ``start(sim)``
+method — phones, attackers and arrival processes all qualify.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import EventHandle
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+from repro.util.rng import RngRegistry
+
+
+class Simulation:
+    """Top-level container for one simulated run."""
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        self.rngs = RngRegistry(seed)
+        self.clock = Clock()
+        self.scheduler = Scheduler(self.clock)
+        self.trace = Trace(enabled=trace)
+        self._entities: List[Any] = []
+        self._started = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.clock.now
+
+    def at(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        return self.scheduler.schedule(delay, fn, *args)
+
+    def at_time(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        return self.scheduler.schedule_at(time, fn, *args)
+
+    def add_entity(self, entity: Any) -> Any:
+        """Register an entity; its ``start(sim)`` runs when the sim starts.
+
+        Entities added after the simulation started are started
+        immediately, which lets arrival processes inject phones mid-run.
+        """
+        self._entities.append(entity)
+        if self._started and hasattr(entity, "start"):
+            entity.start(self)
+        return entity
+
+    @property
+    def entities(self) -> List[Any]:
+        """All registered entities, in registration order."""
+        return list(self._entities)
+
+    def _start_entities(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for entity in list(self._entities):
+            if hasattr(entity, "start"):
+                entity.start(self)
+
+    def run(self, until: float) -> None:
+        """Start entities (once) and run events up to time ``until``."""
+        self._start_entities()
+        self.scheduler.run_until(until)
+
+    def run_all(self) -> int:
+        """Start entities and drain every queued event."""
+        self._start_entities()
+        return self.scheduler.run_all()
+
+    def emit(self, kind: str, subject: str, detail: str = "") -> None:
+        """Trace helper stamped with the current time."""
+        self.trace.emit(self.now, kind, subject, detail)

@@ -1,0 +1,60 @@
+"""Structured trace of simulation happenings.
+
+Entities append :class:`TraceRecord` rows (time, kind, subject, detail);
+tests and the analysis layer consume them.  Tracing can be disabled for
+the large Fig. 5 sweeps (the trace would hold millions of rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace row."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: str = ""
+
+
+class Trace:
+    """Append-only in-memory trace with simple filtering."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def emit(self, time: float, kind: str, subject: str, detail: str = "") -> None:
+        """Append a record (no-op when the trace is disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, kind, subject, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in emission order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        out: Dict[str, int] = {}
+        for r in self._records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent record, optionally restricted to one kind."""
+        if kind is None:
+            return self._records[-1] if self._records else None
+        for r in reversed(self._records):
+            if r.kind == kind:
+                return r
+        return None

@@ -1,0 +1,31 @@
+"""Shared utilities: RNG streams, units, name generation, text rendering.
+
+These helpers are deliberately dependency-light so every other subpackage
+can import them without cycles.
+"""
+
+from repro.util.histogram import Histogram, bucket_counts
+from repro.util.rng import RngRegistry, derive_seed
+from repro.util.tables import render_table
+from repro.util.units import (
+    MS,
+    US,
+    MINUTE,
+    HOUR,
+    PROBE_RESPONSE_AIRTIME_S,
+    MAX_RESPONSES_PER_SCAN,
+)
+
+__all__ = [
+    "Histogram",
+    "bucket_counts",
+    "RngRegistry",
+    "derive_seed",
+    "render_table",
+    "MS",
+    "US",
+    "MINUTE",
+    "HOUR",
+    "PROBE_RESPONSE_AIRTIME_S",
+    "MAX_RESPONSES_PER_SCAN",
+]

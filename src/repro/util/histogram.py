@@ -1,0 +1,125 @@
+"""Tiny histogram helpers for the figure-reproduction benches.
+
+Fig. 2(b) of the paper is a histogram of "number of SSIDs tested per
+client" with bars at 40, 80, 120 …; these helpers bucket integer samples
+and render the result as text bars.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def bucket_counts(samples: Iterable[int], width: int) -> Dict[int, int]:
+    """Bucket integer ``samples`` into buckets of ``width``.
+
+    The key of each bucket is its inclusive upper edge, matching how the
+    paper labels Fig. 2(b): a client that received 40 SSIDs falls in the
+    ``40`` bucket, 41–80 in ``80`` and so on.  Zero falls in bucket 0.
+    """
+    if width <= 0:
+        raise ValueError("bucket width must be positive, got %r" % width)
+    counts: Counter = Counter()
+    for s in samples:
+        if s < 0:
+            raise ValueError("samples must be non-negative, got %r" % s)
+        if s == 0:
+            counts[0] += 1
+        else:
+            upper = ((s + width - 1) // width) * width
+            counts[upper] += 1
+    return dict(sorted(counts.items()))
+
+
+@dataclass
+class Histogram:
+    """Accumulating histogram with text rendering.
+
+    >>> h = Histogram(width=40)
+    >>> h.extend([40, 40, 80])
+    >>> h.fraction(40)
+    0.666...
+    """
+
+    width: int
+    _samples: List[int] = field(default_factory=list)
+
+    def add(self, sample: int) -> None:
+        """Record one sample."""
+        if sample < 0:
+            raise ValueError("samples must be non-negative, got %r" % sample)
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[int]) -> None:
+        """Record many samples."""
+        for s in samples:
+            self.add(s)
+
+    @property
+    def total(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    def buckets(self) -> Dict[int, int]:
+        """Bucketed counts keyed by inclusive upper edge."""
+        return bucket_counts(self._samples, self.width)
+
+    def fraction(self, upper_edge: int) -> float:
+        """Fraction of samples that fall in the bucket ``upper_edge``."""
+        if not self._samples:
+            return 0.0
+        return self.buckets().get(upper_edge, 0) / len(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the raw samples."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def min(self) -> int:
+        """Smallest sample (0 when empty)."""
+        return min(self._samples) if self._samples else 0
+
+    def max(self) -> int:
+        """Largest sample (0 when empty)."""
+        return max(self._samples) if self._samples else 0
+
+    def render(self, bar_width: int = 50) -> str:
+        """Render the buckets as horizontal text bars."""
+        buckets = self.buckets()
+        if not buckets:
+            return "(empty histogram)"
+        peak = max(buckets.values())
+        lines = []
+        for edge, count in buckets.items():
+            bar = "#" * max(1, round(bar_width * count / peak))
+            share = 100.0 * count / self.total
+            lines.append(f"{edge:>6} | {bar} {count} ({share:.0f}%)")
+        return "\n".join(lines)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in [0, 100])."""
+    if not samples:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100], got %r" % q)
+    ordered = sorted(samples)
+    if q == 0:
+        return ordered[0]
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def split_ratio(pairs: Iterable[Tuple[int, int]]) -> float:
+    """Aggregate ratio sum(a)/sum(b) over (a, b) pairs, inf-safe."""
+    num = 0
+    den = 0
+    for a, b in pairs:
+        num += a
+        den += b
+    if den == 0:
+        return float("inf") if num else 0.0
+    return num / den

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned ASCII so the output is diffable and easy to
+eyeball against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are shown with one decimal (matching the paper's precision);
+    everything else is ``str()``-ed.
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row has %d cells but table has %d headers" % (len(row), len(headers))
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_ratio(numerator: int, denominator: int) -> str:
+    """Render a breakdown ratio the way the paper annotates Fig. 6 bars.
+
+    The paper prints e.g. ``243/69 = 3.5`` above each stacked bar.
+    A zero denominator is rendered as ``inf``.
+    """
+    if denominator == 0:
+        ratio = "inf"
+    else:
+        ratio = f"{numerator / denominator:.1f}"
+    return f"{numerator}/{denominator} = {ratio}"

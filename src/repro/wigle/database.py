@@ -1,0 +1,81 @@
+"""The queryable registry."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+from repro.city.aps import AccessPoint
+from repro.geo.grid import SpatialGrid
+from repro.geo.point import Point
+from repro.wigle.records import WigleRecord
+
+
+class WigleDatabase:
+    """All wardriven APs of the city, indexed for the attack's queries."""
+
+    def __init__(self, records: Iterable[WigleRecord], grid_cell: float = 250.0):
+        self._records: List[WigleRecord] = list(records)
+        self._grid: SpatialGrid[WigleRecord] = SpatialGrid(grid_cell)
+        self._by_ssid: Dict[str, List[WigleRecord]] = defaultdict(list)
+        for rec in self._records:
+            self._grid.insert(rec.location, rec)
+            self._by_ssid[rec.ssid].append(rec)
+
+    @classmethod
+    def from_access_points(cls, aps: Sequence[AccessPoint]) -> "WigleDatabase":
+        """Build the registry from the city's deployed APs."""
+        return cls(WigleRecord.from_access_point(ap) for ap in aps)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[WigleRecord]:
+        """Every record (copy-safe: callers must not mutate)."""
+        return self._records
+
+    def ssids(self) -> List[str]:
+        """All distinct SSIDs."""
+        return list(self._by_ssid)
+
+    def aps_of(self, ssid: str) -> List[WigleRecord]:
+        """Every AP record carrying ``ssid`` (empty list when unknown)."""
+        return list(self._by_ssid.get(ssid, ()))
+
+    def free_ssid_counts(self) -> Counter:
+        """AP count per SSID, restricted to free networks.
+
+        Only SSIDs whose networks are (at least somewhere) free are
+        counted, mirroring City-Hunter's "only SSIDs belong to free APs
+        from WiGLE are selected".
+        """
+        counts: Counter = Counter()
+        for rec in self._records:
+            if rec.free:
+                counts[rec.ssid] += 1
+        return counts
+
+    def nearest_free_ssids(self, location: Point, count: int) -> List[str]:
+        """The ``count`` distinct free SSIDs nearest ``location``.
+
+        Ordered by the distance of each SSID's nearest AP — the paper's
+        "100 SSIDs near to the attacker" seeding query.
+        """
+        if count <= 0:
+            return []
+        out: List[str] = []
+        seen = set()
+        # Over-fetch APs since several may share one SSID.
+        fetch = max(count * 4, 64)
+        while True:
+            hits = self._grid.nearest(location, fetch)
+            for point, rec in hits:
+                if rec.free and rec.ssid not in seen:
+                    seen.add(rec.ssid)
+                    out.append(rec.ssid)
+                    if len(out) == count:
+                        return out
+            if len(hits) >= len(self._records):
+                return out
+            fetch *= 2

@@ -1,0 +1,41 @@
+"""Derived registry queries: count ranking and heat ranking.
+
+These implement the two columns of the paper's Table IV.  The heat value
+of an SSID is the sum, over all its (free) APs, of the photo heat at the
+AP's location (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.city.heatmap import HeatMap
+from repro.wigle.database import WigleDatabase
+
+
+def top_ssids_by_count(db: WigleDatabase, count: int) -> List[Tuple[str, int]]:
+    """Free SSIDs ranked by number of APs, descending."""
+    if count < 0:
+        raise ValueError("count must be non-negative, got %r" % count)
+    return db.free_ssid_counts().most_common(count)
+
+
+def ssid_heat_values(db: WigleDatabase, heatmap: HeatMap) -> Dict[str, float]:
+    """Heat value per free SSID: sum of cell heat over its AP locations."""
+    heats: Dict[str, float] = {}
+    for rec in db.records:
+        if not rec.free:
+            continue
+        heats[rec.ssid] = heats.get(rec.ssid, 0.0) + heatmap.heat_at(rec.location)
+    return heats
+
+
+def top_ssids_by_heat(
+    db: WigleDatabase, heatmap: HeatMap, count: int
+) -> List[Tuple[str, float]]:
+    """Free SSIDs ranked by heat value, descending (Table IV, right)."""
+    if count < 0:
+        raise ValueError("count must be non-negative, got %r" % count)
+    heats = ssid_heat_values(db, heatmap)
+    ranked = sorted(heats.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:count]

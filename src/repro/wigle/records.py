@@ -1,0 +1,32 @@
+"""Registry records.
+
+A :class:`WigleRecord` is the attacker-visible view of one AP: SSID,
+whether the network is free (open), and where it is.  Provenance tags
+from city generation are deliberately *not* carried over — a real
+wardriving registry would not know them, and the attack must not peek.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.city.aps import AccessPoint
+from repro.dot11.ssid import validate_ssid
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True)
+class WigleRecord:
+    """One AP as listed in the registry."""
+
+    ssid: str
+    free: bool
+    location: Point
+
+    def __post_init__(self) -> None:
+        validate_ssid(self.ssid)
+
+    @classmethod
+    def from_access_point(cls, ap: AccessPoint) -> "WigleRecord":
+        """Project a city AP down to what wardriving observes."""
+        return cls(ssid=ap.ssid, free=ap.is_free, location=ap.location)

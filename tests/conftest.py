@@ -1,0 +1,21 @@
+"""Shared fixtures.
+
+City generation takes ~1.5 s, so the default city and its WiGLE registry
+are built once per test session.  Tests must treat them as immutable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.city.model import build_city
+from repro.wigle.database import WigleDatabase
+
+
+@pytest.fixture(scope="session")
+def city():
+    return build_city(rng=np.random.default_rng(42))
+
+
+@pytest.fixture(scope="session")
+def wigle(city):
+    return WigleDatabase.from_access_points(city.aps)

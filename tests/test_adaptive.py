@@ -1,0 +1,64 @@
+"""Tests for ARC-style buffer adaptation (repro.core.adaptive)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveSplit
+
+
+class TestAdaptiveSplit:
+    def test_initial_sizes(self):
+        split = AdaptiveSplit(total=40, initial_pb=28)
+        assert split.pb_size == 28
+        assert split.fb_size == 12
+
+    def test_total_invariant_under_adaptation(self):
+        split = AdaptiveSplit(total=40, initial_pb=28)
+        for bucket in ["pb_ghost", "fb_ghost", "pb_ghost", "pb_ghost"]:
+            split.on_hit(bucket)
+            assert split.pb_size + split.fb_size == 40
+
+    def test_pb_ghost_hit_grows_pb(self):
+        split = AdaptiveSplit(total=40, initial_pb=28)
+        split.on_hit("pb_ghost")
+        assert split.pb_size == 29
+
+    def test_fb_ghost_hit_grows_fb(self):
+        split = AdaptiveSplit(total=40, initial_pb=28)
+        split.on_hit("fb_ghost")
+        assert split.fb_size == 13
+
+    def test_non_ghost_buckets_ignored(self):
+        split = AdaptiveSplit(total=40, initial_pb=28)
+        for bucket in ["pb", "fb", "mimic", "db", "unknown"]:
+            split.on_hit(bucket)
+        assert split.pb_size == 28
+        assert split.adjustments == 0
+
+    def test_clamped_at_min_size(self):
+        split = AdaptiveSplit(total=40, initial_pb=6, min_size=4)
+        for _ in range(10):
+            split.on_hit("fb_ghost")
+        assert split.pb_size == 4
+        for _ in range(100):
+            split.on_hit("pb_ghost")
+        assert split.pb_size == 36
+        assert split.fb_size == 4
+
+    def test_disabled_adaptation_is_frozen(self):
+        split = AdaptiveSplit(total=40, initial_pb=28, enabled=False)
+        split.on_hit("pb_ghost")
+        split.on_hit("fb_ghost")
+        assert split.pb_size == 28
+        assert split.adjustments == 0
+
+    def test_adjustment_counter(self):
+        split = AdaptiveSplit(total=40, initial_pb=28)
+        split.on_hit("pb_ghost")
+        split.on_hit("fb_ghost")
+        assert split.adjustments == 2
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveSplit(total=40, initial_pb=38, min_size=4)
+        with pytest.raises(ValueError):
+            AdaptiveSplit(total=40, initial_pb=2, min_size=4)

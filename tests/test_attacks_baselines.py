@@ -1,0 +1,143 @@
+"""Tests for KARMA and MANA (repro.attacks)."""
+
+import pytest
+
+from repro.analysis.session import AttackSession
+from repro.attacks.karma import KarmaAttacker
+from repro.attacks.mana import ManaAttacker
+from repro.dot11.frames import (
+    AssocRequest,
+    AuthRequest,
+    ProbeRequest,
+    ProbeResponse,
+)
+from repro.dot11.medium import Medium
+from repro.geo.point import Point
+from repro.sim.simulation import Simulation
+
+
+class Sniffer:
+    """Passive station capturing everything the attacker transmits."""
+
+    def __init__(self, mac="02:00:00:00:00:99"):
+        self.mac = mac
+        self.received = []
+
+    def position_at(self, time):
+        return Point(1, 0)
+
+    def receive(self, frame, time):
+        self.received.append(frame)
+
+    def receive_burst(self, responses, time, spacing):
+        self.received.extend(responses)
+
+
+def _deploy(attacker_cls, **kwargs):
+    sim = Simulation(seed=2)
+    medium = Medium(sim)
+    attacker = attacker_cls(
+        "02:aa:00:00:00:01", Point(0, 0), medium, **kwargs
+    )
+    sniffer = Sniffer()
+    medium.attach(sniffer, 100.0)
+    sim.add_entity(attacker)
+    sim.run(0.001)
+    return sim, medium, attacker, sniffer
+
+
+class TestKarma:
+    def test_mimics_direct_probe(self):
+        sim, medium, karma, sniffer = _deploy(KarmaAttacker)
+        karma.receive(ProbeRequest(sniffer.mac, "HomeNet"), sim.now)
+        sim.run(1.0)
+        responses = [f for f in sniffer.received if isinstance(f, ProbeResponse)]
+        assert [r.ssid for r in responses] == ["HomeNet"]
+        assert responses[0].security.is_open
+
+    def test_ignores_broadcast_probe(self):
+        sim, medium, karma, sniffer = _deploy(KarmaAttacker)
+        karma.receive(ProbeRequest(sniffer.mac), sim.now)
+        sim.run(1.0)
+        assert sniffer.received == []
+
+    def test_handshake_served_and_hit_recorded(self):
+        sim, medium, karma, sniffer = _deploy(KarmaAttacker)
+        karma.receive(ProbeRequest(sniffer.mac, "HomeNet"), sim.now)
+        karma.receive(AuthRequest(sniffer.mac, karma.mac), sim.now)
+        karma.receive(AssocRequest(sniffer.mac, karma.mac, "HomeNet"), sim.now)
+        sim.run(1.0)
+        rec = karma.session.clients[sniffer.mac]
+        assert rec.connected
+        assert rec.hit_ssid == "HomeNet"
+        assert rec.connected_via_direct
+        kinds = [f.kind for f in sniffer.received]
+        assert "auth_resp" in kinds and "assoc_resp" in kinds
+
+    def test_observes_probe_classification(self):
+        sim, medium, karma, sniffer = _deploy(KarmaAttacker)
+        karma.receive(ProbeRequest(sniffer.mac), sim.now)
+        karma.receive(ProbeRequest(sniffer.mac, "X"), sim.now)
+        rec = karma.session.clients[sniffer.mac]
+        assert rec.direct_prober
+        assert rec.probes_seen == 2
+
+
+class TestMana:
+    def test_harvests_direct_probes(self):
+        sim, medium, mana, sniffer = _deploy(ManaAttacker)
+        mana.receive(ProbeRequest("02:01:00:00:00:01", "A"), sim.now)
+        mana.receive(ProbeRequest("02:01:00:00:00:02", "B"), sim.now)
+        mana.receive(ProbeRequest("02:01:00:00:00:03", "A"), sim.now)
+        assert mana.db_size == 2
+        assert mana.db_ssids() == ["A", "B"]
+
+    def test_broadcast_reply_sends_db_in_insertion_order(self):
+        sim, medium, mana, sniffer = _deploy(ManaAttacker)
+        for i in range(5):
+            mana.receive(ProbeRequest("02:01:00:00:00:0%d" % i, f"net{i}"), sim.now)
+        mana.receive(ProbeRequest(sniffer.mac), sim.now)
+        sim.run(1.0)
+        resp = [f.ssid for f in sniffer.received if isinstance(f, ProbeResponse)]
+        assert resp == [f"net{i}" for i in range(5)]
+
+    def test_broadcast_reply_empty_db_sends_nothing(self):
+        sim, medium, mana, sniffer = _deploy(ManaAttacker)
+        mana.receive(ProbeRequest(sniffer.mac), sim.now)
+        sim.run(1.0)
+        assert sniffer.received == []
+
+    def test_physical_burst_capped_at_double_window(self):
+        sim, medium, mana, sniffer = _deploy(ManaAttacker)
+        for i in range(300):
+            mana.receive(ProbeRequest("02:01:00:00:00:01", f"net{i}"), sim.now)
+        mana.receive(ProbeRequest(sniffer.mac), sim.now)
+        sim.run(1.0)
+        resp = [f for f in sniffer.received if isinstance(f, ProbeResponse)]
+        # The tail past 2x the reception window could never be received.
+        assert len(resp) == 2 * mana.timing.max_responses_per_scan
+
+    def test_resends_same_head_to_repeat_clients(self):
+        """MANA has no untried lists — the defining difference from
+        City-Hunter's first improvement."""
+        sim, medium, mana, sniffer = _deploy(ManaAttacker)
+        mana.receive(ProbeRequest("02:01:00:00:00:01", "A"), sim.now)
+        mana.receive(ProbeRequest(sniffer.mac), sim.now)
+        mana.receive(ProbeRequest(sniffer.mac), sim.now)
+        sim.run(1.0)
+        resp = [f.ssid for f in sniffer.received if isinstance(f, ProbeResponse)]
+        assert resp == ["A", "A"]
+
+    def test_db_size_series_recorded(self):
+        sim, medium, mana, sniffer = _deploy(ManaAttacker)
+        mana.receive(ProbeRequest("02:01:00:00:00:01", "A"), sim.now)
+        mana.receive(ProbeRequest("02:01:00:00:00:02", "B"), sim.now)
+        sizes = [size for _, size in mana.session.db_size_series]
+        assert sizes == [1, 2]
+
+    def test_shared_session_injection(self):
+        session = AttackSession()
+        sim = Simulation(seed=2)
+        medium = Medium(sim)
+        mana = ManaAttacker("02:aa:00:00:00:01", Point(0, 0), medium, session=session)
+        assert mana.session is session

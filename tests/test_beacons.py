@@ -1,0 +1,94 @@
+"""Tests for beaconing APs and passive phone discovery."""
+
+import pytest
+
+from repro.devices.access_point import LegitAp
+from repro.devices.phone import Phone
+from repro.devices.profiles import ScanProfile
+from repro.dot11.capabilities import NetworkProfile, Security
+from repro.dot11.frames import Beacon
+from repro.dot11.medium import Medium
+from repro.geo.point import Point
+from repro.mobility.base import PathMobility
+from repro.population.person import OsFamily, PersonSpec
+from repro.sim.simulation import Simulation
+
+
+def _person(ssids, open_=True):
+    sec = Security.OPEN if open_ else Security.WPA2_PSK
+    return PersonSpec(0, OsFamily.ANDROID, {s: NetworkProfile(s, sec) for s in ssids})
+
+
+def _phone(person, medium, duration=300.0, first_scan_delay=200.0):
+    mobility = PathMobility([(0.0, Point(5, 0)), (duration, Point(5, 0))])
+    # Long first-scan delay so passive discovery acts before any scan.
+    profile = ScanProfile(first_scan_max_delay=first_scan_delay)
+    return Phone("02:00:00:00:00:aa", person, mobility, medium,
+                 scan_profile=profile)
+
+
+class TestBeaconing:
+    def test_ap_beacons_periodically(self):
+        sim = Simulation(seed=1)
+        medium = Medium(sim)
+        ap = LegitAp("02:aa:00:00:00:01", Point(0, 0), medium, "Net",
+                     beacon_interval=0.1)
+        sim.add_entity(ap)
+        sim.run(1.05)
+        assert ap.beacons_sent == 10
+
+    def test_beaconing_off_by_default(self):
+        sim = Simulation(seed=1)
+        medium = Medium(sim)
+        ap = LegitAp("02:aa:00:00:00:01", Point(0, 0), medium, "Net")
+        sim.add_entity(ap)
+        sim.run(5.0)
+        assert ap.beacons_sent == 0
+
+
+class TestPassiveDiscovery:
+    def test_idle_phone_joins_beaconing_pnl_network(self):
+        sim = Simulation(seed=1)
+        medium = Medium(sim)
+        ap = LegitAp("02:aa:00:00:00:01", Point(0, 0), medium, "HomeNet",
+                     beacon_interval=0.5)
+        phone = _phone(_person(["HomeNet"]), medium)
+        sim.add_entity(ap)
+        sim.add_entity(phone)
+        sim.run(10.0)
+        assert phone.state == Phone.CONNECTED
+        assert phone.connected_bssid == ap.mac
+        assert phone.scans_performed == 0  # never needed to probe
+
+    def test_unknown_beacon_ignored(self):
+        sim = Simulation(seed=1)
+        medium = Medium(sim)
+        ap = LegitAp("02:aa:00:00:00:01", Point(0, 0), medium, "StrangerNet",
+                     beacon_interval=0.5)
+        phone = _phone(_person(["HomeNet"]), medium)
+        sim.add_entity(ap)
+        sim.add_entity(phone)
+        sim.run(10.0)
+        assert phone.state != Phone.CONNECTED
+
+    def test_secured_pnl_entry_not_joined_from_beacon(self):
+        sim = Simulation(seed=1)
+        medium = Medium(sim)
+        ap = LegitAp("02:aa:00:00:00:01", Point(0, 0), medium, "CorpNet",
+                     beacon_interval=0.5)
+        phone = _phone(_person(["CorpNet"], open_=False), medium)
+        sim.add_entity(ap)
+        sim.add_entity(phone)
+        sim.run(10.0)
+        assert phone.state != Phone.CONNECTED
+
+    def test_connected_phone_ignores_beacons(self):
+        sim = Simulation(seed=1)
+        medium = Medium(sim)
+        phone = _phone(_person(["OtherNet"]), medium)
+        phone.state = Phone.CONNECTED
+        phone.connected_bssid = "02:bb:00:00:00:01"
+        sim.add_entity(phone)
+        sim.run(0.1)
+        phone.receive(Beacon("02:cc:00:00:00:01", "OtherNet"), sim.now)
+        assert phone.connected_bssid == "02:bb:00:00:00:01"

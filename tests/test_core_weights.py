@@ -1,0 +1,46 @@
+"""Tests for rank-order weighting (repro.core.weights)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.weights import rank_order_weights
+
+
+class TestRankOrderWeights:
+    def test_paper_200(self):
+        w = rank_order_weights(200)
+        assert w[0] == 200.0
+        assert w[-1] == 1.0
+        assert len(w) == 200
+
+    def test_paper_100(self):
+        w = rank_order_weights(100)
+        assert w[0] == 100.0
+        assert w[-1] == 1.0
+
+    def test_strictly_decreasing(self):
+        w = rank_order_weights(50)
+        assert all(a > b for a, b in zip(w, w[1:]))
+
+    def test_custom_top(self):
+        w = rank_order_weights(3, top=9.0)
+        assert w == [9.0, 5.0, 1.0]
+
+    def test_single(self):
+        assert rank_order_weights(1) == [1.0]
+        assert rank_order_weights(1, top=7.0) == [7.0]
+
+    def test_empty(self):
+        assert rank_order_weights(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rank_order_weights(-1)
+
+    @given(st.integers(min_value=2, max_value=500))
+    def test_property_bounds_and_monotonicity(self, n):
+        w = rank_order_weights(n)
+        assert len(w) == n
+        assert w[0] == float(n)
+        assert w[-1] == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(w, w[1:]))

@@ -1,0 +1,122 @@
+"""Tests for the evil-twin detectors (repro.defenses)."""
+
+import pytest
+
+from repro.defenses.detector import CanaryProbeDetector, MultiSsidDetector
+from repro.devices.access_point import LegitAp
+from repro.experiments.attackers import make_cityhunter, make_karma, make_mana
+from repro.experiments.calibration import venue_profile
+from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.geo.point import Point
+from repro.sim.simulation import Simulation
+from repro.dot11.medium import Medium
+from repro.dot11.frames import ProbeRequest
+
+
+def _deploy_with_detectors(city, wigle, attacker_factory, duration=600.0):
+    config = ScenarioConfig(
+        venue_name="University Canteen",
+        mobility="static",
+        people_per_min=25.0,
+        duration=duration,
+        seed=4,
+    )
+    build = build_scenario(city, wigle, config, attacker_factory)
+    center = build.venue.region.center
+    passive = MultiSsidDetector("02:de:te:ct:00:01", center, build.medium)
+    active = CanaryProbeDetector("02:de:te:ct:00:02", center, build.medium)
+    build.sim.add_entity(passive)
+    build.sim.add_entity(active)
+    build.sim.run(duration + 30.0)
+    return build, passive, active
+
+
+class TestDetectorValidation:
+    def test_multi_ssid_threshold(self):
+        sim = Simulation(seed=0)
+        medium = Medium(sim)
+        with pytest.raises(ValueError):
+            MultiSsidDetector("02:00:00:00:00:01", Point(0, 0), medium, threshold=1)
+
+    def test_canary_period(self):
+        sim = Simulation(seed=0)
+        medium = Medium(sim)
+        with pytest.raises(ValueError):
+            CanaryProbeDetector(
+                "02:00:00:00:00:01", Point(0, 0), medium, probe_period=0.0
+            )
+
+
+class TestAgainstCityHunter:
+    def test_passive_detector_flags_cityhunter(self, city, wigle):
+        build, passive, _ = _deploy_with_detectors(
+            city, wigle, make_cityhunter(wigle, city.heatmap)
+        )
+        assert passive.is_flagged(build.attacker.mac)
+        event = passive.detections[0]
+        assert event.method == "multi-ssid"
+        assert event.bssid == build.attacker.mac
+
+    def test_canary_detector_flags_cityhunter(self, city, wigle):
+        """City-Hunter mimics direct probes KARMA-style, so the canary
+        trap snares it too."""
+        build, _, active = _deploy_with_detectors(
+            city, wigle, make_cityhunter(wigle, city.heatmap)
+        )
+        assert active.probes_sent > 5
+        assert active.is_flagged(build.attacker.mac)
+
+    def test_detection_is_fast(self, city, wigle):
+        build, passive, _ = _deploy_with_detectors(
+            city, wigle, make_cityhunter(wigle, city.heatmap), duration=300.0
+        )
+        # One 40-SSID burst is enough: detection within the first minute.
+        assert passive.detections[0].time < 60.0
+
+
+class TestAgainstBaselines:
+    def test_karma_flagged_by_canary_only_when_probed(self, city, wigle):
+        build, passive, active = _deploy_with_detectors(city, wigle, make_karma())
+        # KARMA answers the canary immediately.
+        assert active.is_flagged(build.attacker.mac)
+
+    def test_mana_flagged_by_both(self, city, wigle):
+        build, passive, active = _deploy_with_detectors(city, wigle, make_mana())
+        assert active.is_flagged(build.attacker.mac)
+        # MANA's broadcast bursts also trip the multi-SSID monitor once
+        # its database has content.
+        assert passive.ssid_count(build.attacker.mac) > 1
+
+
+class TestAgainstLegitAp:
+    def test_honest_ap_never_flagged(self):
+        sim = Simulation(seed=1)
+        medium = Medium(sim)
+        ap = LegitAp("02:aa:00:00:00:01", Point(0, 0), medium, "Honest WiFi")
+        passive = MultiSsidDetector("02:de:te:ct:00:01", Point(1, 0), medium)
+        active = CanaryProbeDetector("02:de:te:ct:00:02", Point(1, 1), medium)
+        sim.add_entity(ap)
+        sim.add_entity(passive)
+        sim.add_entity(active)
+
+        # A few honest clients probing for the real network.
+        class Prober:
+            def __init__(self, mac):
+                self.mac = mac
+
+            def position_at(self, t):
+                return Point(2, 2)
+
+            def receive(self, frame, t):
+                pass
+
+        for i in range(5):
+            p = Prober(f"02:cc:00:00:00:0{i}")
+            medium.attach(p, 50.0)
+            sim.at(float(i), medium.transmit, p, ProbeRequest(p.mac))
+            sim.at(float(i) + 0.5, medium.transmit, p,
+                   ProbeRequest(p.mac, "Honest WiFi"))
+        sim.run(600.0)
+        assert not passive.is_flagged(ap.mac)
+        assert not active.is_flagged(ap.mac)
+        assert passive.ssid_count(ap.mac) == 1

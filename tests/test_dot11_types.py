@@ -1,0 +1,135 @@
+"""Tests for 802.11 basic types: MACs, SSIDs, security, channels, frames."""
+
+import numpy as np
+import pytest
+
+from repro.dot11.capabilities import NetworkProfile, Security
+from repro.dot11.channel import ALL_2G_CHANNELS, validate_channel
+from repro.dot11.frames import (
+    AssocRequest,
+    AssocResponse,
+    Beacon,
+    Deauth,
+    ProbeRequest,
+    ProbeResponse,
+)
+from repro.dot11.mac import (
+    BROADCAST_MAC,
+    is_valid_mac,
+    random_ap_mac,
+    random_client_mac,
+)
+from repro.dot11.ssid import validate_ssid
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMac:
+    def test_client_mac_valid_and_locally_administered(self, rng):
+        for _ in range(100):
+            mac = random_client_mac(rng)
+            assert is_valid_mac(mac)
+            first_octet = int(mac.split(":")[0], 16)
+            assert first_octet & 0x02  # locally administered
+            assert not first_octet & 0x01  # unicast
+
+    def test_ap_mac_valid(self, rng):
+        for _ in range(50):
+            assert is_valid_mac(random_ap_mac(rng))
+
+    def test_broadcast_constant(self):
+        assert BROADCAST_MAC == "ff:ff:ff:ff:ff:ff"
+        assert is_valid_mac(BROADCAST_MAC)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "aa:bb:cc:dd:ee", "AA:BB:CC:DD:EE:FF", "aa-bb-cc-dd-ee-ff"]
+    )
+    def test_invalid_macs(self, bad):
+        assert not is_valid_mac(bad)
+
+    def test_macs_unlikely_to_collide(self, rng):
+        macs = {random_client_mac(rng) for _ in range(5000)}
+        assert len(macs) == 5000
+
+
+class TestSsid:
+    def test_valid(self):
+        assert validate_ssid("Free WiFi") == "Free WiFi"
+
+    def test_32_bytes_ok(self):
+        validate_ssid("x" * 32)
+
+    def test_33_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            validate_ssid("x" * 33)
+
+    def test_multibyte_counted_in_bytes(self):
+        with pytest.raises(ValueError):
+            validate_ssid("生" * 11)  # 33 UTF-8 bytes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_ssid("")
+
+    def test_non_str_rejected(self):
+        with pytest.raises(TypeError):
+            validate_ssid(42)  # type: ignore[arg-type]
+
+
+class TestSecurity:
+    def test_only_open_is_open(self):
+        assert Security.OPEN.is_open
+        for mode in (Security.WEP, Security.WPA2_PSK, Security.WPA2_ENTERPRISE):
+            assert not mode.is_open
+
+    def test_profile_auto_joinable(self):
+        assert NetworkProfile("x", Security.OPEN).auto_joinable
+        assert not NetworkProfile("x", Security.WPA2_PSK).auto_joinable
+
+    def test_profile_validates_ssid(self):
+        with pytest.raises(ValueError):
+            NetworkProfile("", Security.OPEN)
+
+
+class TestChannel:
+    def test_etsi_plan(self):
+        assert ALL_2G_CHANNELS == tuple(range(1, 14))
+
+    def test_validate(self):
+        assert validate_channel(6) == 6
+        with pytest.raises(ValueError):
+            validate_channel(14)
+
+
+class TestFrames:
+    def test_broadcast_probe(self):
+        probe = ProbeRequest("02:00:00:00:00:01")
+        assert probe.is_broadcast_probe
+        assert probe.dst == BROADCAST_MAC
+
+    def test_direct_probe(self):
+        probe = ProbeRequest("02:00:00:00:00:01", "HomeNet")
+        assert not probe.is_broadcast_probe
+        assert probe.ssid == "HomeNet"
+
+    def test_frames_use_slots(self):
+        resp = ProbeResponse("a", "b", "x")
+        with pytest.raises(AttributeError):
+            resp.surprise = 1  # type: ignore[attr-defined]
+
+    def test_kinds(self):
+        assert ProbeRequest("a").kind == "probe_req"
+        assert ProbeResponse("a", "b", "x").kind == "probe_resp"
+        assert AssocRequest("a", "b", "x").kind == "assoc_req"
+        assert AssocResponse("a", "b", "x").kind == "assoc_resp"
+        assert Deauth("a", "b").kind == "deauth"
+        assert Beacon("a", "x").kind == "beacon"
+
+    def test_defaults(self):
+        resp = ProbeResponse("a", "b", "x")
+        assert resp.security is Security.OPEN
+        assert Deauth("a", "b").reason == 7
+        assert AssocResponse("a", "b", "x").success

@@ -1,0 +1,44 @@
+"""Extra coverage for the figure generators and CLI figure paths."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.figures import fig5_all
+
+
+class TestFig5All:
+    def test_all_four_venues(self):
+        results = fig5_all(slots=[4], slot_duration=240.0)
+        assert set(results) == {
+            "canteen",
+            "passage",
+            "shopping_center",
+            "railway_station",
+        }
+        for res in results.values():
+            assert len(res.slots) == 1
+            assert 0.0 <= res.average_h_b() <= 1.0
+
+    def test_empty_slot_list_yields_empty(self):
+        results = fig5_all(slots=[], slot_duration=240.0)
+        for res in results.values():
+            assert res.slots == []
+            assert res.average_h_b() == 0.0
+
+
+class TestCliFigurePaths:
+    def test_fig6_command(self, capsys):
+        rc = main(["fig", "6", "--venue", "passage", "--slots", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "WiGLE/direct" in out
+
+    def test_fig1_command(self, capsys):
+        rc = main(["fig", "1", "--duration", "240"])
+        assert rc == 0
+        assert "h_b^r" in capsys.readouterr().out
+
+    def test_fig2_command(self, capsys):
+        rc = main(["fig", "2", "--duration", "240"])
+        assert rc == 0
+        assert "histogram" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Tests for histogram helpers (repro.util.histogram)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.histogram import Histogram, bucket_counts, percentile, split_ratio
+
+
+class TestBucketCounts:
+    def test_upper_edge_buckets_match_paper_labelling(self):
+        # A client that saw exactly 40 SSIDs falls in the 40 bucket,
+        # 41-80 in the 80 bucket (Fig. 2b labelling).
+        counts = bucket_counts([40, 41, 80, 81], width=40)
+        assert counts == {40: 1, 80: 2, 120: 1}
+
+    def test_zero_goes_to_zero_bucket(self):
+        assert bucket_counts([0, 0, 1], width=40) == {0: 2, 40: 1}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_counts([-1], width=40)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_counts([1], width=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000)),
+           st.integers(min_value=1, max_value=200))
+    def test_counts_conserve_samples(self, samples, width):
+        counts = bucket_counts(samples, width)
+        assert sum(counts.values()) == len(samples)
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1),
+           st.integers(min_value=1, max_value=200))
+    def test_every_sample_within_its_bucket(self, samples, width):
+        counts = bucket_counts(samples, width)
+        for edge in counts:
+            assert edge % width == 0
+
+
+class TestHistogram:
+    def test_fraction(self):
+        h = Histogram(width=40)
+        h.extend([40, 40, 80])
+        assert h.fraction(40) == pytest.approx(2 / 3)
+        assert h.fraction(80) == pytest.approx(1 / 3)
+        assert h.fraction(120) == 0.0
+
+    def test_stats(self):
+        h = Histogram(width=40)
+        h.extend([10, 20, 30])
+        assert h.mean() == pytest.approx(20.0)
+        assert h.min() == 10
+        assert h.max() == 30
+        assert h.total == 3
+
+    def test_empty_histogram(self):
+        h = Histogram(width=40)
+        assert h.mean() == 0.0
+        assert h.fraction(40) == 0.0
+        assert h.render() == "(empty histogram)"
+
+    def test_render_contains_counts_and_shares(self):
+        h = Histogram(width=40)
+        h.extend([40] * 3 + [80])
+        out = h.render()
+        assert "40" in out and "(75%)" in out
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestSplitRatio:
+    def test_aggregates_before_dividing(self):
+        assert split_ratio([(1, 2), (3, 2)]) == pytest.approx(1.0)
+
+    def test_zero_denominator(self):
+        assert split_ratio([(3, 0)]) == float("inf")
+        assert split_ratio([(0, 0)]) == 0.0

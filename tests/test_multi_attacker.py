@@ -1,0 +1,92 @@
+"""Co-deployed attackers (the paper's actual Table I setup).
+
+The paper ran KARMA and MANA *simultaneously*, ~40 m apart, "to avoid
+any interferences".  The medium supports this directly: multiple rogue
+APs attach to the same radio space, and clients simply join whichever
+matching response arrives first.
+"""
+
+import pytest
+
+from repro.attacks.karma import KarmaAttacker
+from repro.attacks.mana import ManaAttacker
+from repro.core.hunter import CityHunter
+from repro.dot11.mac import random_ap_mac
+from repro.experiments.attackers import make_karma
+from repro.experiments.calibration import venue_profile
+from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.geo.point import Point
+
+
+def _co_deploy(city, registry, second_attacker_cls, offset=40.0,
+               duration=900.0, **second_kwargs):
+    """KARMA at the venue centre plus a second attacker ``offset`` m away."""
+    config = ScenarioConfig(
+        venue_name="University Canteen",
+        mobility="static",
+        people_per_min=25.0,
+        duration=duration,
+        seed=9,
+    )
+    build = build_scenario(city, registry, config, make_karma())
+    center = build.venue.region.center
+    second = second_attacker_cls(
+        random_ap_mac(build.sim.rngs.stream("attacker2_mac")),
+        Point(center.x + offset, center.y),
+        build.medium,
+        **second_kwargs,
+    )
+    build.sim.add_entity(second)
+    build.sim.run(duration + 30.0)
+    return build, second
+
+
+class TestCoDeployment:
+    def test_both_attackers_observe_clients(self, city, wigle):
+        build, mana = _co_deploy(city, wigle, ManaAttacker)
+        karma = build.attacker
+        assert len(karma.session.clients) > 50
+        assert len(mana.session.clients) > 50
+
+    def test_both_attackers_score_hits(self, city, wigle):
+        build, mana = _co_deploy(city, wigle, ManaAttacker)
+        karma = build.attacker
+        karma_hits = sum(1 for r in karma.session.records() if r.connected)
+        mana_hits = sum(1 for r in mana.session.records() if r.connected)
+        assert karma_hits > 0
+        assert mana_hits > 0
+
+    def test_one_client_connects_to_one_attacker(self, city, wigle):
+        """A phone associates once; both sessions must not claim the
+        same client as connected."""
+        build, mana = _co_deploy(city, wigle, ManaAttacker)
+        karma = build.attacker
+        karma_connected = {
+            r.mac for r in karma.session.records() if r.connected
+        }
+        mana_connected = {r.mac for r in mana.session.records() if r.connected}
+        assert not karma_connected & mana_connected
+
+    def test_cityhunter_outcompetes_karma_next_door(self, city, wigle):
+        """A City-Hunter 40 m from a KARMA attacker still dominates —
+        broadcast clients are simply invisible to KARMA."""
+        build, hunter = _co_deploy(
+            city,
+            wigle,
+            CityHunter,
+            wigle=wigle,
+            heatmap=city.heatmap,
+        )
+        karma = build.attacker
+        hunter_broadcast_hits = sum(
+            1
+            for r in hunter.session.broadcast_clients()
+            if r.connected
+        )
+        karma_broadcast_hits = sum(
+            1
+            for r in karma.session.broadcast_clients()
+            if r.connected
+        )
+        assert karma_broadcast_hits == 0
+        assert hunter_broadcast_hits > 10

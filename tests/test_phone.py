@@ -1,0 +1,238 @@
+"""Tests for smartphone behaviour (repro.devices.phone).
+
+These drive a real Phone against a scripted AP on the frame-level
+medium, so the 40-response reception ceiling is exercised end-to-end
+rather than assumed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.phone import Phone
+from repro.devices.profiles import ScanProfile
+from repro.dot11.capabilities import NetworkProfile, Security
+from repro.dot11.frames import (
+    AssocRequest,
+    AssocResponse,
+    AuthRequest,
+    AuthResponse,
+    Deauth,
+    ProbeRequest,
+    ProbeResponse,
+)
+from repro.dot11.medium import Medium
+from repro.geo.point import Point
+from repro.mobility.base import PathMobility
+from repro.population.person import OsFamily, PersonSpec
+from repro.sim.simulation import Simulation
+
+
+class ScriptedAp:
+    """An AP that answers every broadcast probe with N crafted SSIDs."""
+
+    def __init__(self, mac, medium, ssids):
+        self.mac = mac
+        self.medium = medium
+        self.ssids = list(ssids)
+        self.probes = []
+        self.assoc_requests = []
+
+    def position_at(self, time):
+        return Point(0, 0)
+
+    def start(self, sim):
+        self.medium.attach(self, 100.0)
+
+    def receive(self, frame, time):
+        if isinstance(frame, ProbeRequest):
+            self.probes.append(frame)
+            if frame.is_broadcast_probe:
+                burst = [
+                    ProbeResponse(self.mac, frame.src, s, Security.OPEN)
+                    for s in self.ssids
+                ]
+                self.medium.transmit_response_burst(self, burst)
+        elif isinstance(frame, AuthRequest):
+            self.medium.transmit(self, AuthResponse(self.mac, frame.src, True))
+        elif isinstance(frame, AssocRequest):
+            self.assoc_requests.append(frame)
+            self.medium.transmit(
+                self, AssocResponse(self.mac, frame.src, frame.ssid, True)
+            )
+
+
+def _person(pnl_ssids, open_=True, unsafe=False, direct=()):
+    sec = Security.OPEN if open_ else Security.WPA2_PSK
+    pnl = {s: NetworkProfile(s, sec) for s in pnl_ssids}
+    return PersonSpec(
+        0, OsFamily.ANDROID, pnl, unsafe=unsafe, direct_probe_ssids=tuple(direct)
+    )
+
+
+def _phone(person, medium, duration=600.0, profile=None):
+    mobility = PathMobility([(0.0, Point(10, 0)), (duration, Point(10, 0))])
+    return Phone(
+        "02:00:00:00:00:aa",
+        person,
+        mobility,
+        medium,
+        scan_profile=profile or ScanProfile(first_scan_max_delay=1.0),
+    )
+
+
+def _build(ssids, person, fidelity="frame", duration=600.0, profile=None):
+    sim = Simulation(seed=8)
+    medium = Medium(sim, fidelity=fidelity)
+    ap = ScriptedAp("02:aa:00:00:00:01", medium, ssids)
+    phone = _phone(person, medium, duration=duration, profile=profile)
+    sim.add_entity(ap)
+    sim.add_entity(phone)
+    return sim, ap, phone
+
+
+class TestReceptionCeiling:
+    @pytest.mark.parametrize("fidelity", ["frame", "burst"])
+    def test_at_most_forty_responses_accepted_per_scan(self, fidelity):
+        person = _person(["not-there"])
+        sim, ap, phone = _build([f"s{i}" for i in range(120)], person, fidelity)
+        sim.run(5.0)  # exactly one scan
+        assert phone.scans_performed == 1
+        assert phone.responses_accepted == 40
+
+    @pytest.mark.parametrize("fidelity", ["frame", "burst"])
+    def test_small_burst_fully_received(self, fidelity):
+        person = _person(["not-there"])
+        sim, ap, phone = _build([f"s{i}" for i in range(7)], person, fidelity)
+        sim.run(5.0)
+        assert phone.responses_accepted == 7
+
+    def test_ssid_past_position_forty_cannot_hit(self):
+        target = "deep-ssid"
+        ssids = [f"junk{i}" for i in range(40)] + [target]
+        person = _person([target])
+        sim, ap, phone = _build(ssids, person, duration=3.0)
+        sim.run(5.0)
+        assert phone.state != Phone.CONNECTED
+
+    def test_ssid_at_position_forty_hits(self):
+        target = "edge-ssid"
+        ssids = [f"junk{i}" for i in range(39)] + [target]
+        person = _person([target])
+        sim, ap, phone = _build(ssids, person)
+        sim.run(5.0)
+        assert phone.state == Phone.CONNECTED
+
+
+class TestAssociation:
+    def test_full_handshake_connects(self):
+        person = _person(["known"])
+        sim, ap, phone = _build(["known"], person)
+        sim.run(5.0)
+        assert phone.state == Phone.CONNECTED
+        assert phone.connected_ssid == "known"
+        assert phone.connected_bssid == ap.mac
+        assert [f.ssid for f in ap.assoc_requests] == ["known"]
+
+    def test_first_matching_response_wins(self):
+        person = _person(["second", "first"])
+        sim, ap, phone = _build(["zzz", "first", "second"], person)
+        sim.run(5.0)
+        assert phone.connected_ssid == "first"
+
+    def test_secured_pnl_entry_never_joins_evil_twin(self):
+        person = _person(["corp"], open_=False)
+        sim, ap, phone = _build(["corp"], person)
+        sim.run(30.0)
+        assert phone.state != Phone.CONNECTED
+
+    def test_no_match_keeps_scanning(self):
+        person = _person(["not-advertised"])
+        sim, ap, phone = _build(["a", "b"], person, duration=500.0)
+        sim.run(400.0)
+        assert phone.scans_performed >= 2
+        assert phone.state != Phone.CONNECTED
+
+    def test_connected_phone_stops_scanning(self):
+        person = _person(["known"])
+        sim, ap, phone = _build(["known"], person, duration=900.0)
+        sim.run(800.0)
+        assert phone.state == Phone.CONNECTED
+        assert len([p for p in ap.probes if p.is_broadcast_probe]) == 1
+
+
+class TestDirectProbes:
+    def test_unsafe_phone_sends_direct_probes(self):
+        person = _person(["home", "x"], unsafe=True, direct=["home"])
+        sim, ap, phone = _build([], person, duration=3.0)
+        sim.run(5.0)
+        direct = [p for p in ap.probes if not p.is_broadcast_probe]
+        assert [p.ssid for p in direct] == ["home"]
+
+    def test_safe_phone_sends_only_broadcast(self):
+        person = _person(["home"])
+        sim, ap, phone = _build([], person, duration=3.0)
+        sim.run(5.0)
+        assert all(p.is_broadcast_probe for p in ap.probes)
+
+
+class TestDeparture:
+    def test_phone_detaches_at_exit(self):
+        person = _person(["nope"])
+        sim, ap, phone = _build(["a"], person, duration=50.0)
+        sim.run(100.0)
+        assert phone.state == Phone.DEPARTED
+        assert not phone.medium.is_attached(phone.mac)
+
+    def test_departed_phone_stops_probing(self):
+        person = _person(["nope"])
+        sim, ap, phone = _build(["a"], person, duration=50.0)
+        sim.run(400.0)
+        # Only ~50 s of lifetime: at most the first couple of scans fired.
+        assert phone.scans_performed <= 2
+        assert len(ap.probes) == phone.scans_performed
+
+
+class TestDeauth:
+    def test_camped_phone_rescans_after_deauth(self):
+        sim = Simulation(seed=8)
+        medium = Medium(sim)
+        ap = ScriptedAp("02:aa:00:00:00:01", medium, ["known"])
+        person = _person(["known"])
+        mobility = PathMobility([(0.0, Point(10, 0)), (600.0, Point(10, 0))])
+        legit_bssid = "02:bb:00:00:00:02"
+        phone = Phone(
+            "02:00:00:00:00:aa",
+            person,
+            mobility,
+            medium,
+            camped_bssid=legit_bssid,
+        )
+        sim.add_entity(ap)
+        sim.add_entity(phone)
+        sim.run(10.0)
+        assert phone.state == Phone.CONNECTED
+        assert ap.probes == []  # camped: silent
+
+        # A spoofed deauth naming the legit AP's BSSID frees the client.
+        phone.receive(Deauth(src=legit_bssid, dst=phone.mac), sim.now)
+        sim.run(30.0)
+        assert ap.probes  # it rescanned...
+        assert phone.state == Phone.CONNECTED
+        assert phone.connected_bssid == ap.mac  # ...and the evil twin won
+
+    def test_deauth_from_wrong_bssid_ignored(self):
+        sim = Simulation(seed=8)
+        medium = Medium(sim)
+        person = _person(["known"])
+        mobility = PathMobility([(0.0, Point(10, 0)), (600.0, Point(10, 0))])
+        phone = Phone(
+            "02:00:00:00:00:aa",
+            person,
+            mobility,
+            medium,
+            camped_bssid="02:bb:00:00:00:02",
+        )
+        sim.add_entity(phone)
+        sim.run(1.0)
+        phone.receive(Deauth(src="02:cc:00:00:00:03", dst=phone.mac), sim.now)
+        assert phone.state == Phone.CONNECTED

@@ -1,0 +1,181 @@
+"""Tests for population synthesis (repro.population)."""
+
+import numpy as np
+import pytest
+
+from repro.population.groups import GroupModel, draw_group_core, member_share
+from repro.population.person import OsFamily, PersonSpec
+from repro.population.pnl import CARRIER_SSIDS, PnlModel, VenueContext
+from repro.population.synthesis import PersonFactory
+from repro.dot11.capabilities import NetworkProfile, Security
+
+
+@pytest.fixture(scope="module")
+def factory(city, wigle):
+    venue = city.venue("University Canteen")
+    near = wigle.nearest_free_ssids(venue.region.center, 50)
+    ctx = VenueContext(venue, [s for s in near if s not in venue.wifi_ssids][:40])
+    return PersonFactory(city, ctx, np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def crowd(factory):
+    people = []
+    rng = np.random.default_rng(5)
+    while len(people) < 4000:
+        size = 1 + int(rng.choice(4, p=[0.62, 0.24, 0.10, 0.04]))
+        people.extend(factory.make_group(size))
+    return people
+
+
+class TestPersonBasics:
+    def test_ids_unique(self, crowd):
+        ids = [p.person_id for p in crowd]
+        assert len(ids) == len(set(ids))
+
+    def test_every_pnl_nonempty(self, crowd):
+        assert all(len(p.pnl) >= 1 for p in crowd)
+
+    def test_open_pnl_helper(self):
+        p = PersonSpec(
+            0,
+            OsFamily.IOS,
+            {
+                "open": NetworkProfile("open", Security.OPEN),
+                "shut": NetworkProfile("shut", Security.WPA2_PSK),
+            },
+        )
+        assert p.open_pnl_ssids() == ("open",)
+        assert p.has_open_entry()
+
+
+class TestCalibratedMarginals:
+    def test_ios_share(self, crowd):
+        ios = sum(1 for p in crowd if p.os_family is OsFamily.IOS)
+        assert 0.40 < ios / len(crowd) < 0.50
+
+    def test_unsafe_share_near_paper_direct_fraction(self, crowd):
+        unsafe = sum(1 for p in crowd if p.unsafe)
+        assert 0.11 < unsafe / len(crowd) < 0.19
+
+    def test_unsafe_devices_are_android_only(self, crowd):
+        for p in crowd:
+            if p.unsafe:
+                assert p.os_family is OsFamily.ANDROID
+
+    def test_carrier_ssids_ios_only(self, crowd):
+        for p in crowd:
+            if any(s in CARRIER_SSIDS for s in p.pnl):
+                assert p.os_family is OsFamily.IOS
+
+    def test_carrier_never_in_direct_probes(self, crowd):
+        for p in crowd:
+            assert not (set(p.direct_probe_ssids) & set(CARRIER_SSIDS))
+
+    def test_unsafe_phones_probe_something(self, crowd):
+        for p in crowd:
+            if p.unsafe:
+                assert len(p.direct_probe_ssids) >= 1
+                assert all(s in p.pnl for s in p.direct_probe_ssids)
+            else:
+                assert p.direct_probe_ssids == ()
+
+    def test_mean_pnl_size_sane(self, crowd):
+        mean = np.mean([len(p.pnl) for p in crowd])
+        assert 2.0 < mean < 6.0
+
+    def test_direct_probe_open_rate_band(self, crowd):
+        """~25-45 % of direct probers reveal an open entry — this is
+        what pins KARMA's direct connect rate."""
+        unsafe = [p for p in crowd if p.unsafe]
+        rate = np.mean(
+            [
+                any(p.pnl[s].auto_joinable for s in p.direct_probe_ssids)
+                for p in unsafe
+            ]
+        )
+        assert 0.2 < rate < 0.5
+
+
+class TestGroups:
+    def test_solo_has_no_group(self, factory):
+        person = factory.make_group(1)[0]
+        assert person.group_id == -1
+
+    def test_group_members_share_id(self, factory):
+        group = factory.make_group(3)
+        ids = {p.group_id for p in group}
+        assert len(ids) == 1 and group[0].group_id >= 0
+
+    def test_distinct_groups_distinct_ids(self, factory):
+        a = factory.make_group(2)[0].group_id
+        b = factory.make_group(2)[0].group_id
+        assert a != b
+
+    def test_bad_size_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory.make_group(0)
+
+    def test_groups_share_more_open_ssids_than_strangers(self, crowd):
+        """The social-correlation premise of the freshness buffer."""
+        from collections import defaultdict
+        import itertools
+
+        by_group = defaultdict(list)
+        for p in crowd:
+            if p.group_id >= 0:
+                by_group[p.group_id].append(p)
+        pairs = []
+        for members in by_group.values():
+            pairs.extend(itertools.combinations(members, 2))
+        pairs = pairs[:800]
+
+        def overlap(a, b):
+            return len(set(a.open_pnl_ssids()) & set(b.open_pnl_ssids()))
+
+        group_overlap = np.mean([overlap(a, b) for a, b in pairs])
+        solos = [p for p in crowd if p.group_id == -1][:800]
+        stranger_overlap = np.mean(
+            [overlap(a, b) for a, b in zip(solos[0::2], solos[1::2])]
+        )
+        assert group_overlap > 2 * stranger_overlap
+
+    def test_group_marginal_adoption_not_inflated(self, crowd, city):
+        """Group sharing must not raise members' marginal chain adoption."""
+        pool = {p.ssid for p in city.public_pool}
+
+        def rate(people):
+            return np.mean([len(set(p.pnl) & pool) for p in people])
+
+        grouped = [p for p in crowd if p.group_id >= 0]
+        solo = [p for p in crowd if p.group_id == -1]
+        assert rate(grouped) == pytest.approx(rate(solo), rel=0.35)
+
+
+class TestGroupCore:
+    def test_core_draws_respect_model(self):
+        rng = np.random.default_rng(0)
+        model = GroupModel(p_shared_home=1.0, p_hangout=0.0)
+        core = draw_group_core(model, ["shop-a"], rng)
+        assert len(core) == 1  # exactly the home, no hangouts
+
+    def test_hangout_uses_local_pool(self):
+        rng = np.random.default_rng(0)
+        model = GroupModel(p_shared_home=0.0, p_hangout=1.0)
+        for _ in range(50):
+            core = draw_group_core(
+                model, ["global"], rng, local_shop_ssids=["local"], p_local=1.0
+            )
+            assert all(p.ssid == "local" for p in core)
+
+    def test_member_share_full_inheritance(self):
+        rng = np.random.default_rng(0)
+        model = GroupModel(p_inherit=1.0)
+        core = [NetworkProfile("a"), NetworkProfile("b")]
+        assert member_share(core, model, rng) == core
+
+    def test_member_share_zero_inheritance(self):
+        rng = np.random.default_rng(0)
+        model = GroupModel(p_inherit=0.0)
+        core = [NetworkProfile("a")]
+        assert member_share(core, model, rng) == []

@@ -1,0 +1,87 @@
+"""Tests for propagation models (repro.dot11.propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.dot11.frames import ProbeRequest
+from repro.dot11.medium import Medium
+from repro.dot11.propagation import DiscPropagation, LogDistanceShadowing
+from repro.geo.point import Point
+from repro.sim.simulation import Simulation
+
+
+class TestDiscPropagation:
+    def test_inside_always_delivered(self):
+        rng = np.random.default_rng(0)
+        prop = DiscPropagation()
+        assert prop.delivered(10.0, 50.0, rng)
+        assert prop.delivered(50.0, 50.0, rng)
+
+    def test_outside_never_delivered(self):
+        rng = np.random.default_rng(0)
+        assert not DiscPropagation().delivered(50.001, 50.0, rng)
+
+
+class TestLogDistanceShadowing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogDistanceShadowing(exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistanceShadowing(sigma_db=0.0)
+
+    def test_probability_monotone_in_distance(self):
+        prop = LogDistanceShadowing()
+        probs = [prop._delivery_probability(d, 50.0) for d in (5, 25, 50, 75, 150)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_half_probability_at_nominal_range(self):
+        prop = LogDistanceShadowing()
+        assert prop._delivery_probability(50.0, 50.0) == pytest.approx(0.5)
+
+    def test_certain_at_zero_distance(self):
+        prop = LogDistanceShadowing()
+        assert prop._delivery_probability(0.0, 50.0) == 1.0
+
+    def test_sharper_with_higher_exponent(self):
+        soft = LogDistanceShadowing(exponent=2.0, sigma_db=4.0)
+        sharp = LogDistanceShadowing(exponent=6.0, sigma_db=4.0)
+        # At 1.5x the range, the sharp model is far less likely to deliver.
+        assert sharp._delivery_probability(75.0, 50.0) < soft._delivery_probability(
+            75.0, 50.0
+        )
+
+    def test_empirical_rates_match_probabilities(self):
+        rng = np.random.default_rng(1)
+        prop = LogDistanceShadowing()
+        for d in (25.0, 50.0, 90.0):
+            want = prop._delivery_probability(d, 50.0)
+            got = np.mean([prop.delivered(d, 50.0, rng) for _ in range(4000)])
+            assert got == pytest.approx(want, abs=0.03)
+
+
+class TestMediumWithShadowing:
+    def test_soft_edge_partial_delivery(self):
+        sim = Simulation(seed=5)
+        medium = Medium(sim, propagation=LogDistanceShadowing())
+
+        class St:
+            def __init__(self, mac, pos):
+                self.mac = mac
+                self.pos = pos
+                self.received = []
+
+            def position_at(self, t):
+                return self.pos
+
+            def receive(self, frame, t):
+                self.received.append(frame)
+
+        a = St("02:00:00:00:00:01", Point(0, 0))
+        edge = St("02:00:00:00:00:02", Point(50, 0))  # exactly at range
+        medium.attach(a, 50.0)
+        medium.attach(edge, 50.0)
+        for _ in range(400):
+            medium.transmit(a, ProbeRequest(a.mac))
+        sim.run(10.0)
+        # Roughly half get through at the nominal edge.
+        assert 120 < len(edge.received) < 280

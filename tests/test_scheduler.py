@@ -1,0 +1,138 @@
+"""Tests for the event scheduler (repro.sim.scheduler)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.scheduler import Scheduler
+
+
+class TestScheduling:
+    def test_executes_in_time_order(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(2.0, fired.append, "b")
+        sched.schedule(1.0, fired.append, "a")
+        sched.schedule(3.0, fired.append, "c")
+        sched.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sched = Scheduler()
+        fired = []
+        for tag in "abc":
+            sched.schedule(1.0, fired.append, tag)
+        sched.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_matches_fire_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(1.5, lambda: seen.append(sched.clock.now))
+        sched.run_all()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sched = Scheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run_all()
+        with pytest.raises(ValueError):
+            sched.schedule_at(0.5, lambda: None)
+
+    def test_callbacks_can_schedule_more(self):
+        sched = Scheduler()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sched.schedule(1.0, chain, n + 1)
+
+        sched.schedule(1.0, chain, 0)
+        sched.run_all()
+        assert fired == [0, 1, 2, 3]
+        assert sched.clock.now == 4.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sched.run_all()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sched = Scheduler()
+        keep = sched.schedule(1.0, lambda: None)
+        drop = sched.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sched.pending == 1
+        assert keep.alive
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, "in")
+        sched.schedule(5.0, fired.append, "out")
+        sched.run_until(2.0)
+        assert fired == ["in"]
+        assert sched.clock.now == 2.0
+
+    def test_resume_after_deadline(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(5.0, fired.append, "late")
+        sched.run_until(2.0)
+        sched.run_until(10.0)
+        assert fired == ["late"]
+
+    def test_boundary_event_included(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(2.0, fired.append, "edge")
+        sched.run_until(2.0)
+        assert fired == ["edge"]
+
+    def test_past_deadline_rejected(self):
+        sched = Scheduler()
+        sched.run_until(5.0)
+        with pytest.raises(ValueError):
+            sched.run_until(1.0)
+
+
+class TestRunAll:
+    def test_returns_fired_count(self):
+        sched = Scheduler()
+        for i in range(5):
+            sched.schedule(float(i), lambda: None)
+        assert sched.run_all() == 5
+        assert sched.fired == 5
+
+    def test_runaway_guard(self):
+        sched = Scheduler()
+
+        def forever():
+            sched.schedule(1.0, forever)
+
+        sched.schedule(1.0, forever)
+        with pytest.raises(RuntimeError):
+            sched.run_all(max_events=100)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), max_size=50))
+    def test_property_fire_order_is_sorted(self, delays):
+        sched = Scheduler()
+        fired = []
+        for d in delays:
+            sched.schedule(d, lambda d=d: fired.append(d))
+        sched.run_all()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

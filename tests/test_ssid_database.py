@@ -1,0 +1,126 @@
+"""Tests for the weighted SSID database (repro.core.ssid_database)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ssid_database import WeightedSsidDatabase
+
+
+@pytest.fixture
+def db():
+    d = WeightedSsidDatabase()
+    d.add("alpha", 100.0, "wigle")
+    d.add("beta", 50.0, "wigle")
+    d.add("gamma", 75.0, "direct")
+    return d
+
+
+class TestAdd:
+    def test_add_and_contains(self, db):
+        assert "alpha" in db
+        assert "missing" not in db
+        assert len(db) == 3
+
+    def test_duplicate_keeps_stronger_weight(self, db):
+        assert not db.add("beta", 80.0, "direct")
+        assert db.get("beta").weight == 80.0
+        assert db.get("beta").origin == "wigle"  # first origin sticks
+
+    def test_duplicate_weaker_weight_ignored(self, db):
+        db.add("alpha", 10.0, "direct")
+        assert db.get("alpha").weight == 100.0
+
+    def test_get_missing(self, db):
+        assert db.get("missing") is None
+
+
+class TestRanking:
+    def test_ranked_by_weight_desc(self, db):
+        assert [e.ssid for e in db.ranked()] == ["alpha", "gamma", "beta"]
+
+    def test_rank_cache_invalidated_by_bump(self, db):
+        db.ranked()
+        db.bump_weight("beta", 100.0)
+        assert [e.ssid for e in db.ranked()][0] == "beta"
+
+    def test_bump_unknown_is_noop(self, db):
+        db.bump_weight("missing", 10.0)
+        assert len(db) == 3
+
+    def test_ties_broken_deterministically(self):
+        d = WeightedSsidDatabase()
+        d.add("b", 10.0, "wigle")
+        d.add("a", 10.0, "wigle")
+        assert [e.ssid for e in d.ranked()] == ["a", "b"]
+
+
+class TestHitsAndRecency:
+    def test_record_hit_updates_entry(self, db):
+        db.record_hit("beta", time=5.0, weight_bonus=8.0)
+        e = db.get("beta")
+        assert e.hits == 1
+        assert e.last_hit == 5.0
+        assert e.weight == 58.0
+
+    def test_recency_most_recent_first(self, db):
+        db.record_hit("alpha", 1.0)
+        db.record_hit("beta", 2.0)
+        db.record_hit("alpha", 3.0)
+        assert db.recent_hits() == ["alpha", "beta"]
+
+    def test_mimic_hits_excluded_from_recency(self, db):
+        db.record_hit("alpha", 1.0, fresh=False)
+        assert db.recent_hits() == []
+        assert db.get("alpha").hits == 1  # still counted
+
+    def test_trim_recency(self, db):
+        for i, ssid in enumerate(["alpha", "beta", "gamma"]):
+            db.record_hit(ssid, float(i))
+        db.trim_recency(2)
+        assert len(db.recent_hits()) == 2
+        assert db.recent_hits() == ["gamma", "beta"]
+
+    def test_hit_on_unknown_ssid_ignored(self, db):
+        db.record_hit("missing", 1.0)
+        assert db.recent_hits() == []
+
+    def test_total_hits(self, db):
+        db.record_hit("alpha", 1.0)
+        db.record_hit("alpha", 2.0)
+        db.record_hit("beta", 3.0)
+        assert db.total_hits() == 3
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abcdef", min_size=1, max_size=6),
+                st.floats(min_value=0.1, max_value=1e5),
+            ),
+            max_size=60,
+        )
+    )
+    def test_ranked_always_sorted_and_complete(self, entries):
+        db = WeightedSsidDatabase()
+        for ssid, weight in entries:
+            db.add(ssid, weight, "wigle")
+        ranked = db.ranked()
+        weights = [e.weight for e in ranked]
+        assert weights == sorted(weights, reverse=True)
+        assert len(ranked) == len(db)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=40))
+    def test_recency_is_distinct_and_tracks_last_hit(self, hits):
+        db = WeightedSsidDatabase()
+        for s in "abcd":
+            db.add(s, 1.0, "wigle")
+        for i, s in enumerate(hits):
+            db.record_hit(s, float(i))
+        rec = db.recent_hits()
+        assert len(rec) == len(set(rec))
+        if hits:
+            assert rec[0] == hits[-1]
+        assert set(rec) == set(hits)

@@ -1,0 +1,118 @@
+"""Tests for the table/figure generators (repro.experiments)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig1,
+    fig2,
+    fig4,
+    fig5_venue,
+)
+from repro.experiments.tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    wigle_share_of_broadcast_hits,
+)
+
+
+class TestTable4:
+    def test_exact_paper_rankings(self):
+        result = table4()
+        count_column = [row[1] for row in result.rows]
+        heat_column = [row[2] for row in result.rows]
+        assert count_column == [
+            "-Free HKBN Wi-Fi-",
+            "7-Eleven Free Wifi",
+            "-Circle K Free Wi-Fi-",
+            "CSL",
+            "CMCC-WEB",
+        ]
+        assert heat_column == [
+            "Free Public WiFi",
+            "#HKAirport Free WiFi",
+            "-Free HKBN Wi-Fi-",
+            "FREE 3Y5 AdWiFi",
+            "7-Eleven Free Wifi",
+        ]
+
+    def test_render(self):
+        out = table4().render()
+        assert "Table IV" in out
+        assert "#HKAirport Free WiFi" in out
+
+
+class TestShortTables:
+    """Short-duration smoke runs of the table generators (the full
+    30-minute versions are exercised by the benchmarks and the band
+    tests)."""
+
+    def test_table1_structure(self):
+        result = table1(duration=240.0)
+        assert [row[0] for row in result.rows] == ["KARMA", "MANA"]
+        assert "0.0%" in result.rows[0][5]  # KARMA h_b = 0
+        out = result.render()
+        assert "Table I" in out
+
+    def test_table2_structure(self):
+        result = table2(duration=240.0)
+        assert [row[0] for row in result.rows] == ["MANA", "City-Hunter"]
+        share = wigle_share_of_broadcast_hits(result.runs[1])
+        assert 0.0 <= share <= 1.0
+
+    def test_table3_structure(self):
+        result = table3(duration=240.0)
+        assert result.rows[0][0] == "Subway Passage"
+        assert len(result.runs) == 1
+
+
+class TestFigures:
+    def test_fig1_series_shapes(self):
+        result = fig1(duration=600.0)
+        assert len(result.db_size) == 5  # 2-min steps over 10 min
+        assert len(result.windows) == 5
+        sizes = [s for _, s in result.db_size]
+        assert sizes == sorted(sizes)  # DB only grows
+        assert "Fig 1(a)" in result.render()
+
+    def test_fig2_histogram(self):
+        result = fig2(duration=600.0)
+        hist = result.passage_sent_histogram
+        assert hist.total > 50
+        # Walkers overwhelmingly see just one 40-burst.
+        assert hist.fraction(40) > 0.5
+        assert "Fig 2(b)" in result.render()
+
+    def test_fig4_names_hot_venues(self):
+        result = fig4()
+        names = [name for name, _, _ in result.hottest_venues]
+        assert "International Airport" in names
+        assert "iSQUARE Mall" in names[:4]
+        out = result.render()
+        assert "Fig 4" in out and len(out.splitlines()) > 10
+
+    def test_fig4_airport_glows_against_lantau(self):
+        """The paper's Fig. 4(b) observation: the airport is the hot
+        spot of its otherwise empty island."""
+        result = fig4()
+        contrast = {n: c for n, _, c in result.hottest_venues}
+        assert contrast["International Airport"] > 20
+
+    def test_fig5_single_slot(self):
+        result = fig5_venue("canteen", slots=[4], slot_duration=600.0)
+        assert len(result.slots) == 1
+        slot = result.slots[0]
+        assert slot.label == "12pm-1pm"
+        assert slot.rush
+        assert slot.summary.total_clients > 50
+        assert 0 <= slot.h_b <= 1
+        assert "Fig 5" in result.render()
+        assert "Fig 6" in result.render_breakdown()
+
+    def test_fig5_average(self):
+        result = fig5_venue("passage", slots=[2, 3], slot_duration=300.0)
+        avg = result.average_h_b()
+        assert avg == pytest.approx(
+            (result.slots[0].h_b + result.slots[1].h_b) / 2
+        )

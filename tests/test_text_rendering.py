@@ -1,0 +1,44 @@
+"""Tests for table/ratio rendering (repro.util.tables)."""
+
+import pytest
+
+from repro.util.tables import render_ratio, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        # All data lines share one width.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_title_prepended(self):
+        out = render_table(["a"], [[1]], title="Table X")
+        assert out.splitlines()[0] == "Table X"
+
+    def test_float_formatting_one_decimal(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.1" in out
+        assert "3.14" not in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderRatio:
+    def test_paper_style_annotation(self):
+        # Fig. 6 annotates 243/69 = 3.5 above the first bar.
+        assert render_ratio(243, 69) == "243/69 = 3.5"
+
+    def test_zero_denominator(self):
+        assert render_ratio(5, 0) == "5/0 = inf"
+
+    def test_zero_over_zero(self):
+        assert render_ratio(0, 0) == "0/0 = inf"

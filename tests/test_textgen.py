@@ -1,0 +1,64 @@
+"""Tests for SSID name generation (repro.util.textgen)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dot11.ssid import validate_ssid
+from repro.util import textgen
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMakers:
+    def test_home_router_shape(self, rng):
+        name = textgen.home_router_ssid(rng)
+        vendor, _, suffix = name.partition("_")
+        assert vendor  # known vendor prefix
+        assert len(suffix) == 4
+        assert all(c in "0123456789ABCDEF" for c in suffix)
+
+    def test_all_makers_emit_valid_ssids(self, rng):
+        for maker in (
+            textgen.home_router_ssid,
+            textgen.shop_ssid,
+            textgen.corporate_ssid,
+        ):
+            for _ in range(200):
+                validate_ssid(maker(rng))
+
+    def test_makers_deterministic_per_seed(self):
+        a = [textgen.shop_ssid(np.random.default_rng(5)) for _ in range(1)]
+        b = [textgen.shop_ssid(np.random.default_rng(5)) for _ in range(1)]
+        assert a == b
+
+
+class TestUniqueNames:
+    def test_exact_count_and_distinct(self, rng):
+        names = textgen.unique_names(500, textgen.shop_ssid, rng)
+        assert len(names) == 500
+        assert len(set(names)) == 500
+
+    def test_all_results_are_valid_ssids(self, rng):
+        # Collision suffixes must not push names past 32 bytes.
+        for name in textgen.unique_names(3000, textgen.shop_ssid, rng):
+            validate_ssid(name)
+
+    def test_zero_count(self, rng):
+        assert textgen.unique_names(0, textgen.shop_ssid, rng) == []
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            textgen.unique_names(-1, textgen.shop_ssid, rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=400), st.integers(min_value=0, max_value=2**31))
+    def test_property_count_and_validity(self, count, seed):
+        rng = np.random.default_rng(seed)
+        names = textgen.unique_names(count, textgen.home_router_ssid, rng)
+        assert len(names) == count == len(set(names))
+        for name in names:
+            validate_ssid(name)

@@ -1,0 +1,44 @@
+"""Tests for the active-scan timing model (repro.dot11.timing)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dot11.timing import DEFAULT_SCAN_TIMING, ScanTiming
+
+
+class TestScanTiming:
+    def test_default_ceiling_is_forty(self):
+        assert DEFAULT_SCAN_TIMING.max_responses_per_scan == 40
+
+    def test_ceiling_scales_with_window(self):
+        timing = ScanTiming(min_channel_time=0.020, response_airtime=0.25e-3)
+        assert timing.max_responses_per_scan == 80
+
+    def test_ceiling_scales_with_airtime(self):
+        timing = ScanTiming(min_channel_time=0.010, response_airtime=0.5e-3)
+        assert timing.max_responses_per_scan == 20
+
+    def test_responses_received_caps(self):
+        t = DEFAULT_SCAN_TIMING
+        assert t.responses_received(10) == 10
+        assert t.responses_received(40) == 40
+        assert t.responses_received(500) == 40
+
+    def test_negative_sent_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCAN_TIMING.responses_received(-1)
+
+    @pytest.mark.parametrize("field", ["min_channel_time", "response_airtime"])
+    def test_nonpositive_parameters_rejected(self, field):
+        kwargs = {field: 0.0}
+        with pytest.raises(ValueError):
+            ScanTiming(**kwargs)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_received_never_exceeds_sent_or_ceiling(self, sent):
+        t = DEFAULT_SCAN_TIMING
+        got = t.responses_received(sent)
+        assert got <= sent
+        assert got <= t.max_responses_per_scan
+        if sent <= t.max_responses_per_scan:
+            assert got == sent

@@ -1,0 +1,50 @@
+"""Tests for the timing/unit constants (repro.util.units)."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestScanCeiling:
+    def test_max_responses_is_forty_with_defaults(self):
+        # 10 ms window / 0.25 ms per response — the paper's derivation.
+        assert units.MAX_RESPONSES_PER_SCAN == 40
+
+    def test_ceiling_is_derived_not_hardcoded(self):
+        assert units.MAX_RESPONSES_PER_SCAN == int(
+            units.MIN_CHANNEL_TIME_S / units.PROBE_RESPONSE_AIRTIME_S
+        )
+
+    def test_max_channel_time_doubles_min(self):
+        assert units.MAX_CHANNEL_TIME_S == pytest.approx(2 * units.MIN_CHANNEL_TIME_S)
+
+
+class TestUnits:
+    def test_second_scale_constants(self):
+        assert units.MS == pytest.approx(1e-3)
+        assert units.US == pytest.approx(1e-6)
+        assert units.MINUTE == 60.0
+        assert units.HOUR == 3600.0
+
+    def test_airtime_ordering(self):
+        # A probe request (no SSID payload) is shorter than a response.
+        assert units.PROBE_REQUEST_AIRTIME_S < units.PROBE_RESPONSE_AIRTIME_S
+
+
+class TestDbFromMw:
+    def test_100mw_is_20dbm(self):
+        assert units.db_from_mw(100.0) == pytest.approx(20.0)
+
+    def test_1mw_is_0dbm(self):
+        assert units.db_from_mw(1.0) == pytest.approx(0.0)
+
+    def test_doubling_adds_3db(self):
+        delta = units.db_from_mw(200.0) - units.db_from_mw(100.0)
+        assert delta == pytest.approx(10 * math.log10(2))
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0])
+    def test_nonpositive_power_rejected(self, bad):
+        with pytest.raises(ValueError):
+            units.db_from_mw(bad)

@@ -1,0 +1,118 @@
+"""Tests for the WiGLE-like registry (repro.wigle)."""
+
+import pytest
+
+from repro.city.aps import AccessPoint
+from repro.dot11.capabilities import Security
+from repro.geo.point import Point
+from repro.wigle.database import WigleDatabase
+from repro.wigle.queries import ssid_heat_values, top_ssids_by_count, top_ssids_by_heat
+from repro.wigle.records import WigleRecord
+
+
+def _small_db():
+    aps = [
+        AccessPoint("Chain", Security.OPEN, Point(0, 0), "chain:Chain"),
+        AccessPoint("Chain", Security.OPEN, Point(100, 0), "chain:Chain"),
+        AccessPoint("Chain", Security.OPEN, Point(200, 0), "chain:Chain"),
+        AccessPoint("Cafe", Security.OPEN, Point(10, 0), "shop"),
+        AccessPoint("Secret", Security.WPA2_PSK, Point(5, 0), "residential"),
+        AccessPoint("Far", Security.OPEN, Point(5000, 5000), "shop"),
+    ]
+    return WigleDatabase.from_access_points(aps)
+
+
+class TestRecords:
+    def test_projection_hides_provenance(self):
+        ap = AccessPoint("X", Security.OPEN, Point(1, 2), "chain:X")
+        rec = WigleRecord.from_access_point(ap)
+        assert rec.ssid == "X"
+        assert rec.free
+        assert rec.location == Point(1, 2)
+        assert not hasattr(rec, "source")
+
+    def test_secured_marked_not_free(self):
+        ap = AccessPoint("Y", Security.WPA2_PSK, Point(0, 0), "shop")
+        assert not WigleRecord.from_access_point(ap).free
+
+
+class TestDatabase:
+    def test_len_counts_aps_not_ssids(self):
+        assert len(_small_db()) == 6
+
+    def test_aps_of(self):
+        db = _small_db()
+        assert len(db.aps_of("Chain")) == 3
+        assert db.aps_of("missing") == []
+
+    def test_free_counts_exclude_secured(self):
+        counts = _small_db().free_ssid_counts()
+        assert counts["Chain"] == 3
+        assert "Secret" not in counts
+
+    def test_nearest_free_distinct_and_ordered(self):
+        db = _small_db()
+        near = db.nearest_free_ssids(Point(0, 0), 3)
+        assert near == ["Chain", "Cafe", "Far"]
+
+    def test_nearest_skips_secured(self):
+        db = _small_db()
+        assert "Secret" not in db.nearest_free_ssids(Point(5, 0), 10)
+
+    def test_nearest_count_larger_than_population(self):
+        db = _small_db()
+        assert len(db.nearest_free_ssids(Point(0, 0), 50)) == 3  # 3 free SSIDs
+
+    def test_nearest_zero(self):
+        assert _small_db().nearest_free_ssids(Point(0, 0), 0) == []
+
+
+class TestQueries:
+    def test_top_by_count(self):
+        ranked = top_ssids_by_count(_small_db(), 2)
+        assert ranked[0] == ("Chain", 3)
+
+    def test_top_by_count_negative_rejected(self):
+        with pytest.raises(ValueError):
+            top_ssids_by_count(_small_db(), -1)
+
+    def test_heat_values_sum_over_aps(self, city, wigle):
+        heats = ssid_heat_values(wigle, city.heatmap)
+        # An SSID's heat is the sum over its APs, so a chain with many
+        # APs in hot places must beat a single home router.
+        assert heats["Free Public WiFi"] > 10_000
+
+    def test_table4_rankings(self, city, wigle):
+        """The headline Table IV reproduction."""
+        by_count = [s for s, _ in top_ssids_by_count(wigle, 5)]
+        assert by_count == [
+            "-Free HKBN Wi-Fi-",
+            "7-Eleven Free Wifi",
+            "-Circle K Free Wi-Fi-",
+            "CSL",
+            "CMCC-WEB",
+        ]
+        by_heat = [s for s, _ in top_ssids_by_heat(wigle, city.heatmap, 5)]
+        assert by_heat == [
+            "Free Public WiFi",
+            "#HKAirport Free WiFi",
+            "-Free HKBN Wi-Fi-",
+            "FREE 3Y5 AdWiFi",
+            "7-Eleven Free Wifi",
+        ]
+
+    def test_heat_promotes_airport_over_count_rank(self, city, wigle):
+        """#HKAirport ranks poorly by count but 2nd by heat — the
+        paper's motivating observation for the heat map."""
+        count_rank = [s for s, _ in top_ssids_by_count(wigle, 40)]
+        heat_rank = [s for s, _ in top_ssids_by_heat(wigle, city.heatmap, 40)]
+        assert count_rank.index("#HKAirport Free WiFi") > 5
+        assert heat_rank.index("#HKAirport Free WiFi") == 1
+
+    def test_nearest_at_attack_venue_mostly_unique(self, city, wigle):
+        """Urban-canyon effect: the 40 nearest SSIDs around the passage
+        are dominated by one-off homes and shops."""
+        passage = city.venue("Central Subway Passage")
+        near = wigle.nearest_free_ssids(passage.region.center, 40)
+        chains = {c.name for c in city.chains}
+        assert sum(1 for s in near if s in chains) <= 5
