@@ -25,9 +25,14 @@ def emit(name: str, text: str) -> None:
 
 
 @functools.lru_cache(maxsize=None)
-def fig5_results(slot_subset: tuple = ()):
-    """The 12x4 hourly City-Hunter runs behind Fig. 5 *and* Fig. 6."""
+def fig5_results(slot_subset: tuple = (), slot_duration: float = 3600.0):
+    """The 12x4 hourly City-Hunter runs behind Fig. 5 *and* Fig. 6.
+
+    All venue/slot runs fan out over the parallel executor in one batch
+    (``REPRO_WORKERS`` controls the width); ``slot_subset`` and
+    ``slot_duration`` cut the grid down for smoke runs.
+    """
     from repro.experiments.figures import fig5_all
 
     slots = list(slot_subset) if slot_subset else None
-    return fig5_all(slots=slots)
+    return fig5_all(slots=slots, slot_duration=slot_duration)

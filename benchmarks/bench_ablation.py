@@ -16,8 +16,9 @@ from _shared import emit
 from repro.attacks.deauth import DeauthEmitter
 from repro.core.config import CityHunterConfig
 from repro.experiments.attackers import make_cityhunter
-from repro.experiments.calibration import default_city, venue_profile
-from repro.experiments.runner import run_experiment, shared_wigle
+from repro.experiments.calibration import default_city
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import shared_wigle
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.population.pnl import CARRIER_SSIDS, PnlModel
 from repro.util.tables import render_table
@@ -26,28 +27,31 @@ SEED = 7
 DURATION = 1800.0
 
 
-def _run(config=None, venue="passage", use_heat=True, pnl_model=None, seed=SEED):
-    city = default_city()
-    wigle = shared_wigle()
-    result = run_experiment(
-        city,
-        wigle,
-        make_cityhunter(wigle, city.heatmap, config=config, use_heat=use_heat),
-        venue_profile(venue),
-        DURATION,
+def _spec(config=None, venue="passage", use_heat=True, pnl_model=None, seed=SEED):
+    return RunSpec(
+        attacker="cityhunter",
+        venue=venue,
         seed=seed,
+        duration=DURATION,
+        attacker_config=config,
+        use_heat=use_heat,
         pnl_model=pnl_model,
     )
-    return result
+
+
+def _run_all(*specs):
+    """Fan the ablation variants out over the parallel executor."""
+    return run_specs(specs, timings_name="timings_ablation")
 
 
 def test_ablation_untried_lists(benchmark):
     """Forgetting what was sent (MANA-style resending) hurts dwellers."""
 
     def run():
-        with_lists = _run(venue="canteen")
-        without = _run(CityHunterConfig(untried_lists=False), venue="canteen")
-        return with_lists, without
+        return _run_all(
+            _spec(venue="canteen"),
+            _spec(CityHunterConfig(untried_lists=False), venue="canteen"),
+        )
 
     with_lists, without = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -68,9 +72,10 @@ def test_ablation_wigle_seeding(benchmark):
     """An unseeded database (direct probes only) starves the attack."""
 
     def run():
-        seeded = _run()
-        unseeded = _run(CityHunterConfig(n_nearby=0, n_popular=0))
-        return seeded, unseeded
+        return _run_all(
+            _spec(),
+            _spec(CityHunterConfig(n_nearby=0, n_popular=0)),
+        )
 
     seeded, unseeded = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -91,9 +96,7 @@ def test_ablation_heat_vs_count_weighting(benchmark):
     """Heat-rank weighting should not lose to plain count weighting."""
 
     def run():
-        heat = _run(use_heat=True)
-        count = _run(use_heat=False)
-        return heat, count
+        return _run_all(_spec(use_heat=True), _spec(use_heat=False))
 
     heat, count = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -114,15 +117,17 @@ def test_ablation_adaptive_split(benchmark):
     """Adaptive PB/FB sizing vs frozen splits."""
 
     def run():
-        rows = []
-        adaptive = _run(venue="canteen")
-        rows.append(("adaptive (init 28/12)", adaptive))
-        for pb in (36, 28, 20):
-            frozen = _run(
-                CityHunterConfig(initial_pb=pb, adaptive=False), venue="canteen"
-            )
-            rows.append((f"fixed {pb}/{40 - pb}", frozen))
-        return rows
+        labels = ["adaptive (init 28/12)"] + [
+            f"fixed {pb}/{40 - pb}" for pb in (36, 28, 20)
+        ]
+        results = _run_all(
+            _spec(venue="canteen"),
+            *(
+                _spec(CityHunterConfig(initial_pb=pb, adaptive=False), venue="canteen")
+                for pb in (36, 28, 20)
+            ),
+        )
+        return list(zip(labels, results))
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -141,11 +146,14 @@ def test_ablation_ghost_exploration(benchmark):
     """Ghost-list share sweep: 0 %, 10 % (paper), 25 %."""
 
     def run():
-        rows = []
-        for picks in (0, 2, 5):
-            r = _run(CityHunterConfig(ghost_picks=picks), venue="canteen")
-            rows.append((picks, r))
-        return rows
+        picks = (0, 2, 5)
+        results = _run_all(
+            *(
+                _spec(CityHunterConfig(ghost_picks=p), venue="canteen")
+                for p in picks
+            )
+        )
+        return list(zip(picks, results))
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -230,13 +238,14 @@ def test_ablation_carrier_extension(benchmark):
     ios_heavy = PnlModel(ios_share=0.75)
 
     def run():
-        plain = _run(venue="canteen", pnl_model=ios_heavy)
-        carrier = _run(
-            CityHunterConfig(carrier_ssids=tuple(CARRIER_SSIDS)),
-            venue="canteen",
-            pnl_model=ios_heavy,
+        return _run_all(
+            _spec(venue="canteen", pnl_model=ios_heavy),
+            _spec(
+                CityHunterConfig(carrier_ssids=tuple(CARRIER_SSIDS)),
+                venue="canteen",
+                pnl_model=ios_heavy,
+            ),
         )
-        return plain, carrier
 
     plain, carrier = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

@@ -8,7 +8,6 @@ relatively more in the canteen (1:3-1:5) than in the passage
 (1:6-1:10) — companions sit together at lunch.
 """
 
-import numpy as np
 from _shared import emit, fig5_results
 
 

@@ -6,67 +6,58 @@ rate vs arrival rate (density) and vs walking speed (mobility) at the
 subway passage.  Expectations: h_b rises mildly with density (a richer
 direct-probe stream feeds the database and groups feed the freshness
 buffer) and falls with walking speed (fewer scans in radio range).
+
+Both sweeps run through the declarative grid runner, whose cells fan
+out over the parallel executor (``REPRO_WORKERS``).
 """
 
 from _shared import emit
 
-from repro.experiments.attackers import make_cityhunter
-from repro.experiments.calibration import default_city, venue_profile
-from repro.experiments.runner import run_experiment, shared_wigle
-from repro.experiments.scenarios import ScenarioConfig, build_scenario
-from repro.analysis.metrics import summarize
+from repro.experiments.calibration import venue_profile
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.sweeps import sweep
 from repro.util.tables import render_table
 
 SEED = 7
 DURATION = 1500.0
 
 
-def _run_passage(people_per_min=None, walk_speed=1.3):
-    city = default_city()
-    wigle = shared_wigle()
+def _passage_base(**overrides):
     profile = venue_profile("passage")
-    config = ScenarioConfig(
+    return ScenarioConfig(
         venue_name=profile.venue_name,
         mobility="corridor",
-        people_per_min=(
-            people_per_min
-            if people_per_min is not None
-            else profile.people_per_min_30min_test
-        ),
+        people_per_min=profile.people_per_min_30min_test,
         duration=DURATION,
         seed=SEED,
         fidelity="burst",
-        walk_speed_mean=walk_speed,
+        **overrides,
     )
-    build = build_scenario(
-        city, wigle, config, make_cityhunter(wigle, city.heatmap)
-    )
-    build.sim.run(DURATION + 30.0)
-    return summarize(build.attacker.session)
+
+
+def _sweep_passage(grid):
+    return sweep(None, None, "cityhunter", _passage_base(), grid)
 
 
 def test_sensitivity_crowd_density(benchmark):
     def run():
-        rows = []
-        for rate in (10.0, 25.0, 50.0, 100.0):
-            s = _run_passage(people_per_min=rate)
-            rows.append((rate, s))
-        return rows
+        return _sweep_passage({"people_per_min": [10.0, 25.0, 50.0, 100.0]})
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
         "sensitivity_density",
         render_table(
             ["arrivals (people/min)", "clients", "h_b"],
             [
-                [f"{rate:.0f}", s.total_clients,
-                 f"{100 * s.broadcast_hit_rate:.1f}%"]
-                for rate, s in rows
+                [f"{cell.params['people_per_min']:.0f}",
+                 cell.summary.total_clients,
+                 f"{100 * cell.h_b:.1f}%"]
+                for cell in result.cells
             ],
             title="Sensitivity: crowd density at the passage",
         ),
     )
-    rates = [s.broadcast_hit_rate for _, s in rows]
+    rates = [cell.h_b for cell in result.cells]
     # Denser crowds never hurt, and the densest beats the sparsest.
     assert rates[-1] > rates[0] - 0.02
     assert all(r > 0.05 for r in rates)
@@ -74,25 +65,22 @@ def test_sensitivity_crowd_density(benchmark):
 
 def test_sensitivity_walking_speed(benchmark):
     def run():
-        rows = []
-        for speed in (0.7, 1.3, 2.2):
-            s = _run_passage(walk_speed=speed)
-            rows.append((speed, s))
-        return rows
+        return _sweep_passage({"walk_speed_mean": [0.7, 1.3, 2.2]})
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
         "sensitivity_speed",
         render_table(
             ["walk speed (m/s)", "clients", "h_b"],
             [
-                [f"{speed:.1f}", s.total_clients,
-                 f"{100 * s.broadcast_hit_rate:.1f}%"]
-                for speed, s in rows
+                [f"{cell.params['walk_speed_mean']:.1f}",
+                 cell.summary.total_clients,
+                 f"{100 * cell.h_b:.1f}%"]
+                for cell in result.cells
             ],
             title="Sensitivity: walking speed at the passage",
         ),
     )
-    rates = [s.broadcast_hit_rate for _, s in rows]
+    rates = [cell.h_b for cell in result.cells]
     # Slower crowds are easier prey: strictly more scans in range.
     assert rates[0] > rates[-1]

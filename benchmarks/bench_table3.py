@@ -7,7 +7,7 @@ head of its flat database ever gets received.
 
 from _shared import emit
 
-from repro.experiments.tables import table2, table3
+from repro.experiments.tables import table3
 
 
 def test_table3(benchmark):

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""CI bench smoke: a reduced-slot Fig. 5 grid under the parallel executor.
+
+Runs the midday slot for all four venues (4 runs fanned out over
+``REPRO_WORKERS`` workers, 15 simulated minutes each), emits the
+rendered figure to ``benchmarks/out/fig5_smoke.txt`` and leaves the
+executor's ``benchmarks/out/timings.json`` behind so CI can archive the
+speedup numbers.
+
+Run:  REPRO_WORKERS=4 python benchmarks/smoke_fig5.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _shared import emit, fig5_results  # noqa: E402
+
+
+def main() -> int:
+    results = fig5_results(slot_subset=(4,), slot_duration=900.0)
+    emit(
+        "fig5_smoke",
+        "\n\n".join(results[key].render() for key in results),
+    )
+    for key, res in results.items():
+        assert res.slots, f"no slot results for {key}"
+        for slot in res.slots:
+            assert slot.h >= slot.h_b, f"h < h_b at {key} slot {slot.slot}"
+    timings = pathlib.Path("benchmarks/out/timings.json")
+    if timings.exists():
+        print(f"\ntimings artefact: {timings}")
+        print(timings.read_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

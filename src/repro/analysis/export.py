@@ -10,7 +10,6 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Optional
 
 from repro.analysis.breakdown import breakdown_hits
 from repro.analysis.metrics import summarize

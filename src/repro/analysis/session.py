@@ -10,7 +10,7 @@ an overheard direct probe), ``carrier`` (the Sec. V-B extension), and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 

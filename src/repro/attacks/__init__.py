@@ -9,10 +9,10 @@ attacker lives in :mod:`repro.core`.
 """
 
 from repro.attacks.base import RogueAp
+from repro.attacks.cityhunter_basic import CityHunterBasic
 from repro.attacks.deauth import DeauthEmitter
 from repro.attacks.karma import KarmaAttacker
 from repro.attacks.mana import ManaAttacker
-from repro.attacks.cityhunter_basic import CityHunterBasic
 
 __all__ = [
     "RogueAp",

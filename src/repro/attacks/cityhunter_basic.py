@@ -22,8 +22,8 @@ from typing import Dict, List
 
 from repro.analysis.session import SentSsid
 from repro.attacks.base import RogueAp
-from repro.dot11.mac import MacAddress
 from repro.core.selection import DIRECT_ATTRIBUTION_WINDOW_S
+from repro.dot11.mac import MacAddress
 from repro.wigle.database import WigleDatabase
 from repro.wigle.queries import top_ssids_by_count
 

@@ -93,7 +93,12 @@ class StealthCityHunter(CityHunter):
 
     def receive_as(self, alias_mac: MacAddress, frame: Frame, time: float) -> None:
         """Handle a handshake frame addressed to one of our aliases."""
-        from repro.dot11.frames import AssocRequest, AssocResponse, AuthRequest, AuthResponse
+        from repro.dot11.frames import (
+            AssocRequest,
+            AssocResponse,
+            AuthRequest,
+            AuthResponse,
+        )
 
         alias = next(
             a for a in self._alias_by_ssid.values() if a.mac == alias_mac

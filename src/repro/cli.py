@@ -18,29 +18,12 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.export import clients_to_csv, session_to_json
-from repro.experiments.attackers import (
-    make_cityhunter,
-    make_cityhunter_basic,
-    make_karma,
-    make_mana,
-)
+from repro.experiments.attackers import ATTACKER_NAMES, make_attacker
 from repro.experiments.calibration import all_profiles, default_city, venue_profile
 from repro.experiments.runner import run_experiment, shared_wigle
 from repro.util.tables import render_table
 
-ATTACKERS = ("karma", "mana", "cityhunter-basic", "cityhunter")
-
-
-def _attacker_factory(name: str, city, wigle):
-    if name == "karma":
-        return make_karma()
-    if name == "mana":
-        return make_mana()
-    if name == "cityhunter-basic":
-        return make_cityhunter_basic(wigle)
-    if name == "cityhunter":
-        return make_cityhunter(wigle, city.heatmap)
-    raise ValueError(f"unknown attacker {name!r}")
+ATTACKERS = ATTACKER_NAMES
 
 
 def _positive_duration(value: str) -> float:
@@ -64,7 +47,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(
         city,
         wigle,
-        _attacker_factory(args.attacker, city, wigle),
+        make_attacker(args.attacker, city, wigle),
         profile,
         duration=args.duration,
         seed=args.seed,
@@ -120,7 +103,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         venues = [args.venue] if args.venue else list(all_profiles())
         slots = args.slots
         for key in venues:
-            result = figures.fig5_venue(key, slots=slots)
+            result = figures.fig5_venue(key, slots=slots, workers=args.workers)
             print(
                 result.render()
                 if args.number == "5"
@@ -196,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--venue", choices=sorted(all_profiles()))
     fig.add_argument("--slots", type=int, nargs="*",
                      help="restrict Fig 5/6 to these hourly slots (0-11)")
+    fig.add_argument("--workers", type=int,
+                     help="parallel workers for Fig 5/6 (default: the "
+                          "REPRO_WORKERS env var, else all cores)")
     fig.set_defaults(func=_cmd_fig)
 
     report = sub.add_parser(

@@ -9,7 +9,7 @@ per-probe selection cheap even for thousands of probes per run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.devices.profiles import DEFAULT_SCAN_PROFILE, ScanProfile
 from repro.dot11.frames import (
     AssocRequest,
     AssocResponse,
@@ -27,7 +28,6 @@ from repro.dot11.frames import (
 from repro.dot11.mac import MacAddress
 from repro.dot11.medium import Medium
 from repro.dot11.timing import DEFAULT_SCAN_TIMING, ScanTiming
-from repro.devices.profiles import DEFAULT_SCAN_PROFILE, ScanProfile
 from repro.geo.point import Point
 from repro.mobility.base import MobilityModel
 from repro.population.person import PersonSpec
@@ -95,7 +95,9 @@ class Phone:
         lifetime = max(_EPS, self.mobility.t_exit - sim.now)
         sim.at(lifetime, self._depart)
         if self.state is not Phone.CONNECTED:
-            first = float(self._rng.uniform(0.0, self.scan_profile.first_scan_max_delay))
+            first = float(
+                self._rng.uniform(0.0, self.scan_profile.first_scan_max_delay)
+            )
             self._scan_event = sim.at(min(first, lifetime * 0.9), self._do_scan)
 
     def _depart(self) -> None:

@@ -2,24 +2,44 @@
 
 Each public function regenerates one table or figure of the paper on
 the synthetic substrate; the benchmarks under ``benchmarks/`` are thin
-wrappers around these.
+wrappers around these.  Batches of independent deployments fan out over
+:mod:`repro.experiments.parallel` (``REPRO_WORKERS`` controls the
+worker count; 1 is an exact serial fallback).
 """
 
-from repro.experiments.calibration import VenueProfile, venue_profile, default_city
-from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.attackers import (
+    ATTACKER_NAMES,
+    make_attacker,
+    make_cityhunter,
+    make_cityhunter_basic,
     make_karma,
     make_mana,
-    make_cityhunter_basic,
-    make_cityhunter,
 )
+from repro.experiments.calibration import VenueProfile, default_city, venue_profile
+from repro.experiments.parallel import (
+    RunSpec,
+    RunSummary,
+    derive_run_seeds,
+    replicates,
+    resolve_workers,
+    run_specs,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
 
 __all__ = [
+    "ATTACKER_NAMES",
     "VenueProfile",
     "venue_profile",
     "default_city",
     "ExperimentResult",
     "run_experiment",
+    "RunSpec",
+    "RunSummary",
+    "derive_run_seeds",
+    "replicates",
+    "resolve_workers",
+    "run_specs",
+    "make_attacker",
     "make_karma",
     "make_mana",
     "make_cityhunter_basic",

@@ -2,6 +2,11 @@
 
 Each returns a callable matching ``attacker_factory(sim, medium, venue)``
 so scenarios stay agnostic of attacker construction details.
+
+Factories are also addressable *by name* via :func:`make_attacker` — the
+parallel executor ships :class:`~repro.experiments.parallel.RunSpec`
+objects to worker processes, and a registry name (plus picklable
+options) is what survives the trip where a closure cannot.
 """
 
 from __future__ import annotations
@@ -73,3 +78,33 @@ def make_cityhunter(
         )
 
     return factory
+
+
+ATTACKER_NAMES = ("karma", "mana", "cityhunter-basic", "cityhunter")
+"""Registry names accepted by :func:`make_attacker` (and the CLI)."""
+
+
+def make_attacker(
+    name: str,
+    city,
+    wigle: WigleDatabase,
+    config: Optional[CityHunterConfig] = None,
+    use_heat: bool = True,
+) -> AttackerFactory:
+    """Build a factory from a registry name.
+
+    ``config`` and ``use_heat`` only apply to the advanced attacker;
+    they are ignored (not rejected) for the baselines so one call site
+    can drive every attacker uniformly.
+    """
+    if name == "karma":
+        return make_karma()
+    if name == "mana":
+        return make_mana()
+    if name == "cityhunter-basic":
+        return make_cityhunter_basic(wigle)
+    if name == "cityhunter":
+        return make_cityhunter(wigle, city.heatmap, config=config, use_heat=use_heat)
+    raise ValueError(
+        "unknown attacker %r (have: %s)" % (name, ", ".join(ATTACKER_NAMES))
+    )

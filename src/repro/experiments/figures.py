@@ -9,25 +9,21 @@ paper is the *shape*: flat MANA efficiency despite database growth
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.breakdown import (
-    BufferBreakdown,
-    SourceBreakdown,
-    breakdown_hits,
-)
+from repro.analysis.breakdown import BufferBreakdown, SourceBreakdown
 from repro.analysis.metrics import SessionSummary
-from repro.analysis.session import AttackSession
 from repro.analysis.timeseries import (
     WindowStat,
     cumulative_broadcast_connections,
     db_size_at_steps,
     windowed_broadcast_hit_rate,
 )
-from repro.experiments.attackers import make_cityhunter, make_cityhunter_basic, make_mana
-from repro.experiments.calibration import default_city, venue_profile, all_profiles
-from repro.experiments.runner import ExperimentResult, run_experiment, shared_wigle
+from repro.experiments.attackers import make_cityhunter_basic, make_mana
+from repro.experiments.calibration import all_profiles, default_city, venue_profile
+from repro.experiments.parallel import RunSpec, RunSummary, run_specs
+from repro.experiments.runner import run_experiment, shared_wigle
 from repro.util.histogram import Histogram
 from repro.util.tables import render_ratio, render_table
 from repro.util.units import MINUTE
@@ -273,51 +269,73 @@ class Fig5Result:
         )
 
 
+def _venue_slot_specs(
+    venue_key: str,
+    seed: int,
+    fidelity: str,
+    slot_duration: float,
+    slots: Optional[Sequence[int]],
+) -> List[RunSpec]:
+    """The hourly-slot run specs for one venue, in slot order."""
+    profile = venue_profile(venue_key)
+    slot_ids = list(slots) if slots is not None else list(range(12))
+    return [
+        RunSpec(
+            attacker="cityhunter",
+            venue=venue_key,
+            seed=seed + 1000 * slot,
+            duration=slot_duration,
+            people_per_min=profile.hourly_people_per_min.rate_for_slot(slot),
+            fidelity=fidelity,
+            rush=slot in profile.rush_slots,
+            tag=f"fig5:{venue_key}:{slot}",
+        )
+        for slot in slot_ids
+    ]
+
+
+def _venue_result(
+    venue_key: str,
+    slot_ids: Sequence[int],
+    outcomes: Sequence[RunSummary],
+) -> Fig5Result:
+    labels = venue_profile(venue_key).hourly_people_per_min.slot_labels
+    out: List[SlotResult] = []
+    for slot, outcome in zip(slot_ids, outcomes):
+        out.append(
+            SlotResult(
+                slot=slot,
+                label=labels[slot],
+                rate_people_per_min=outcome.spec.people_per_min,
+                rush=outcome.spec.rush,
+                summary=outcome.summary,
+                source=outcome.source,
+                buffers=outcome.buffers,
+            )
+        )
+    return Fig5Result(venue_key, out)
+
+
 def fig5_venue(
     venue_key: str,
     seed: int = DEFAULT_SEED,
     fidelity: str = "burst",
     slot_duration: float = 3600.0,
     slots: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Run the 12 hourly tests (8am-8pm) for one venue.
 
     The attacker database is re-initialised for every slot, as in the
-    paper.  ``slots`` restricts to a subset for quick runs.
+    paper.  ``slots`` restricts to a subset for quick runs.  Slots are
+    independent deployments, so they fan out over the parallel executor
+    (``workers``/``REPRO_WORKERS``); results are identical at any
+    worker count.
     """
-    city = default_city()
-    wigle = shared_wigle()
-    profile = venue_profile(venue_key)
     slot_ids = list(slots) if slots is not None else list(range(12))
-    labels = profile.hourly_people_per_min.slot_labels
-    out: List[SlotResult] = []
-    for slot in slot_ids:
-        rate = profile.hourly_people_per_min.rate_for_slot(slot)
-        rush = slot in profile.rush_slots
-        result = run_experiment(
-            city,
-            wigle,
-            make_cityhunter(wigle, city.heatmap),
-            profile,
-            duration=slot_duration,
-            people_per_min=rate,
-            seed=seed + 1000 * slot,
-            fidelity=fidelity,
-            rush=rush,
-        )
-        source, buffers = breakdown_hits(result.session)
-        out.append(
-            SlotResult(
-                slot=slot,
-                label=labels[slot],
-                rate_people_per_min=rate,
-                rush=rush,
-                summary=result.summary,
-                source=source,
-                buffers=buffers,
-            )
-        )
-    return Fig5Result(venue_key, out)
+    specs = _venue_slot_specs(venue_key, seed, fidelity, slot_duration, slots)
+    outcomes = run_specs(specs, workers=workers)
+    return _venue_result(venue_key, slot_ids, outcomes)
 
 
 def fig5_all(
@@ -325,10 +343,25 @@ def fig5_all(
     fidelity: str = "burst",
     slot_duration: float = 3600.0,
     slots: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Fig5Result]:
-    """Fig. 5 for all four venues, keyed by venue key."""
-    return {
-        key: fig5_venue(key, seed=seed, fidelity=fidelity,
-                        slot_duration=slot_duration, slots=slots)
-        for key in all_profiles()
-    }
+    """Fig. 5 for all four venues, keyed by venue key.
+
+    All venue/slot combinations (48 runs for the full grid) are
+    submitted as one batch so the executor can keep every worker busy
+    across venue boundaries.
+    """
+    slot_ids = list(slots) if slots is not None else list(range(12))
+    keys = list(all_profiles())
+    specs: List[RunSpec] = []
+    for key in keys:
+        specs.extend(
+            _venue_slot_specs(key, seed, fidelity, slot_duration, slots)
+        )
+    outcomes = run_specs(specs, workers=workers)
+    results: Dict[str, Fig5Result] = {}
+    per_venue = len(slot_ids)
+    for i, key in enumerate(keys):
+        chunk = outcomes[i * per_venue:(i + 1) * per_venue]
+        results[key] = _venue_result(key, slot_ids, chunk)
+    return results

@@ -1,0 +1,329 @@
+"""Parallel experiment execution with deterministic seeding.
+
+Every paper artefact is a batch of *independent* deployments — Fig. 5/6
+alone is 48 hourly runs — so the executor here fans a list of picklable
+:class:`RunSpec` descriptions out over a ``ProcessPoolExecutor`` and
+returns ordered :class:`RunSummary` results.  Three properties make the
+fan-out exact rather than merely fast:
+
+* **Specs, not closures.**  A spec names its attacker (resolved through
+  the :mod:`~repro.experiments.attackers` registry inside the worker)
+  and carries only picklable configuration, so the same spec runs
+  identically in-process or in a worker.
+* **Per-worker caches.**  ``default_city`` / ``shared_wigle`` are
+  process-local ``lru_cache``\\ s; each worker builds (or inherits via
+  fork) its own immutable city and WiGLE registry.  No mutable state is
+  shared between runs, so execution order cannot matter.
+* **Derived seeds.**  Batches that need replicate seeds derive them via
+  ``derive_seed(master_seed, "run:i")`` (:func:`derive_run_seeds`),
+  which is platform-stable SHA-256 fan-out — parallel and serial
+  execution produce bit-identical results.
+
+Worker count comes from the ``REPRO_WORKERS`` environment variable
+(default ``os.cpu_count()``); ``REPRO_WORKERS=1`` is an exact serial
+fallback that never touches the process pool.  Each executor invocation
+also writes a ``benchmarks/out/timings.json`` artefact (per-run wall
+time, worker count, speedup vs the serial estimate) unless
+``REPRO_TIMINGS=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.breakdown import (
+    BufferBreakdown,
+    SourceBreakdown,
+    breakdown_hits,
+)
+from repro.analysis.metrics import SessionSummary, summarize
+from repro.core.config import CityHunterConfig
+from repro.experiments.attackers import ATTACKER_NAMES, make_attacker
+from repro.experiments.calibration import default_city, venue_profile
+from repro.experiments.runner import run_experiment, shared_wigle
+from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.population.groups import GroupModel
+from repro.population.pnl import PnlModel
+from repro.util.rng import derive_seed
+
+WORKERS_ENV = "REPRO_WORKERS"
+TIMINGS_ENV = "REPRO_TIMINGS"
+TIMINGS_DIR_ENV = "REPRO_TIMINGS_DIR"
+DEFAULT_TIMINGS_DIR = pathlib.Path("benchmarks") / "out"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent deployment, described in picklable terms.
+
+    Two routes exist.  The *profile* route (``venue`` set) mirrors
+    :func:`~repro.experiments.runner.run_experiment` over a calibrated
+    venue profile; the *scenario* route (``scenario`` set) runs an
+    explicit :class:`ScenarioConfig`, which is what the sweep grid uses.
+    Exactly one of the two must be provided.
+    """
+
+    attacker: str
+    venue: Optional[str] = None
+    seed: int = 0
+    duration: float = 1800.0
+    people_per_min: Optional[float] = None
+    fidelity: str = "frame"
+    rush: bool = False
+    group_probs: Optional[Tuple[float, ...]] = None
+    pnl_model: Optional[PnlModel] = None
+    group_model: Optional[GroupModel] = None
+    attacker_config: Optional[CityHunterConfig] = None
+    use_heat: bool = True
+    scenario: Optional[ScenarioConfig] = None
+    run_extra: float = 30.0
+    """Simulated seconds past ``duration`` so in-flight handshakes
+    finish (matches the serial runner)."""
+
+    city_seed: int = 42
+    tag: str = ""
+    """Free-form label echoed into results and the timings artefact."""
+
+    def __post_init__(self) -> None:
+        if self.attacker not in ATTACKER_NAMES:
+            raise ValueError(
+                "unknown attacker %r (have: %s)"
+                % (self.attacker, ", ".join(ATTACKER_NAMES))
+            )
+        if (self.venue is None) == (self.scenario is None):
+            raise ValueError("exactly one of venue/scenario must be set")
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The picklable outcome of one run.
+
+    Workers cannot ship the full :class:`ExperimentResult` home (the
+    session graph references the live simulation), so the breakdown
+    analyses are computed worker-side and only plain dataclasses cross
+    the process boundary.
+    """
+
+    spec: RunSpec
+    summary: SessionSummary
+    source: SourceBreakdown
+    buffers: BufferBreakdown
+    people_spawned: int
+    duration: float
+    wall_time: float
+
+    @property
+    def h(self) -> float:
+        """Overall hit rate."""
+        return self.summary.hit_rate
+
+    @property
+    def h_b(self) -> float:
+        """Broadcast hit rate."""
+        return self.summary.broadcast_hit_rate
+
+
+def derive_run_seeds(master_seed: int, count: int) -> List[int]:
+    """Per-run seeds fanned out from one master seed.
+
+    Uses the same SHA-256 derivation as the in-simulation stream
+    registry (``derive_seed(master, "run:i")``), so the seeds are
+    distinct, stable across platforms and Python versions, and
+    independent of worker count or execution order.
+    """
+    return [derive_seed(master_seed, f"run:{i}") for i in range(count)]
+
+
+def replicates(
+    spec: RunSpec, count: int, master_seed: Optional[int] = None
+) -> List[RunSpec]:
+    """``count`` copies of ``spec`` with derived, distinct seeds.
+
+    Cheap replicated runs are what put error bars on h_b; the master
+    seed defaults to the spec's own seed.
+    """
+    master = spec.seed if master_seed is None else master_seed
+    out = []
+    for i, child_seed in enumerate(derive_run_seeds(master, count)):
+        tag = spec.tag or spec.attacker
+        if spec.scenario is not None:
+            child = replace(
+                spec,
+                scenario=replace(spec.scenario, seed=child_seed),
+                seed=child_seed,
+                tag=f"{tag}:rep{i}",
+            )
+        else:
+            child = replace(spec, seed=child_seed, tag=f"{tag}:rep{i}")
+        out.append(child)
+    return out
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_WORKERS``, else
+    ``os.cpu_count()``."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    "%s must be an integer, got %r" % (WORKERS_ENV, env)
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("worker count must be >= 1, got %r" % workers)
+    return workers
+
+
+def execute_spec(spec: RunSpec) -> RunSummary:
+    """Run one spec in the current process and summarise it.
+
+    This is the worker entry point, but it is equally the serial path:
+    ``run_specs`` with one worker calls it inline, which is what makes
+    the ``REPRO_WORKERS=1`` fallback *exact* rather than approximate.
+    """
+    city = default_city(spec.city_seed)
+    wigle = shared_wigle(spec.city_seed)
+    factory = make_attacker(
+        spec.attacker, city, wigle, config=spec.attacker_config,
+        use_heat=spec.use_heat,
+    )
+    start = time.perf_counter()
+    if spec.scenario is not None:
+        build = build_scenario(city, wigle, spec.scenario, factory)
+        build.sim.run(spec.scenario.duration + spec.run_extra)
+        session = build.attacker.session
+        summary = summarize(session)
+        people = build.arrivals.people_spawned
+        duration = spec.scenario.duration
+    else:
+        result = run_experiment(
+            city,
+            wigle,
+            factory,
+            venue_profile(spec.venue),
+            spec.duration,
+            people_per_min=spec.people_per_min,
+            seed=spec.seed,
+            fidelity=spec.fidelity,
+            rush=spec.rush,
+            group_probs=spec.group_probs,
+            pnl_model=spec.pnl_model,
+            group_model=spec.group_model,
+        )
+        session = result.session
+        summary = result.summary
+        people = result.people_spawned
+        duration = result.duration
+    wall = time.perf_counter() - start
+    source, buffers = breakdown_hits(session)
+    return RunSummary(
+        spec=spec,
+        summary=summary,
+        source=source,
+        buffers=buffers,
+        people_spawned=people,
+        duration=duration,
+        wall_time=wall,
+    )
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    workers: Optional[int] = None,
+    timings_name: str = "timings",
+) -> List[RunSummary]:
+    """Execute every spec and return results in spec order.
+
+    ``workers`` falls back to ``REPRO_WORKERS`` / ``os.cpu_count()``;
+    one worker (or one spec) runs inline with no pool.  Results are
+    bit-identical across worker counts because each run derives all of
+    its randomness from its own spec and touches only immutable shared
+    state.  A timings artefact is written after every invocation.
+    """
+    specs = list(specs)
+    requested = resolve_workers(workers)
+    used = max(1, min(requested, len(specs)))
+    start = time.perf_counter()
+    if used == 1:
+        results = [execute_spec(spec) for spec in specs]
+    else:
+        _prewarm(specs)
+        with ProcessPoolExecutor(max_workers=used) as pool:
+            results = list(pool.map(execute_spec, specs))
+    total_wall = time.perf_counter() - start
+    write_timings(results, workers=used, total_wall=total_wall,
+                  name=timings_name)
+    return results
+
+
+def _prewarm(specs: Sequence[RunSpec]) -> None:
+    """Build each distinct city/registry once in the parent.
+
+    Under the default ``fork`` start method workers then inherit the
+    built caches instead of re-generating the city per process; under
+    ``spawn`` this is merely a cheap no-op for the children.
+    """
+    for city_seed in sorted({spec.city_seed for spec in specs}):
+        shared_wigle(city_seed)
+
+
+def timings_path(name: str = "timings") -> pathlib.Path:
+    """Where the timings artefact goes (``REPRO_TIMINGS_DIR`` or
+    ``benchmarks/out/`` under the current directory)."""
+    root = pathlib.Path(os.environ.get(TIMINGS_DIR_ENV) or DEFAULT_TIMINGS_DIR)
+    return root / f"{name}.json"
+
+
+def write_timings(
+    results: Sequence[RunSummary],
+    workers: int,
+    total_wall: float,
+    name: str = "timings",
+) -> Optional[pathlib.Path]:
+    """Persist the batch timing artefact; returns its path.
+
+    The serial estimate is the sum of per-run wall times, so the
+    recorded speedup is against running the same batch with one worker
+    in the same session.  Set ``REPRO_TIMINGS=0`` to disable.
+    """
+    if os.environ.get(TIMINGS_ENV, "1").strip() in ("0", "false", "off"):
+        return None
+    serial_estimate = sum(r.wall_time for r in results)
+    doc = {
+        "workers": workers,
+        "run_count": len(results),
+        "total_wall_time_s": round(total_wall, 4),
+        "serial_estimate_s": round(serial_estimate, 4),
+        "speedup_vs_serial_estimate": (
+            round(serial_estimate / total_wall, 3) if total_wall > 0 else None
+        ),
+        "runs": [
+            {
+                "tag": r.spec.tag,
+                "attacker": r.spec.attacker,
+                "venue": (
+                    r.spec.venue
+                    if r.spec.venue is not None
+                    else r.spec.scenario.venue_name
+                ),
+                "seed": r.spec.seed,
+                "sim_duration_s": r.duration,
+                "wall_time_s": round(r.wall_time, 4),
+            }
+            for r in results
+        ],
+    }
+    path = timings_path(name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path

@@ -44,7 +44,16 @@ class ExperimentResult:
 
 @functools.lru_cache(maxsize=4)
 def shared_wigle(city_seed: int = 42) -> WigleDatabase:
-    """WiGLE registry over the shared default city (cached)."""
+    """WiGLE registry over the shared default city.
+
+    Cached *per process*: parallel workers each build (or fork) their
+    own instance, so no registry object is ever shared across process
+    boundaries.  Within a process the cached instance is shared across
+    runs, which is safe because :class:`WigleDatabase` is immutable —
+    attackers that adapt SSID weights online do so in their own
+    per-attacker :class:`~repro.core.ssid_database.WeightedSsidDatabase`
+    and can never write back into this registry.
+    """
     return WigleDatabase.from_access_points(default_city(city_seed).aps)
 
 

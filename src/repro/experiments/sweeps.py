@@ -3,14 +3,23 @@
 A declarative grid runner used by the sensitivity benchmarks and handy
 for downstream experimentation: vary one or two scenario knobs, run the
 deployment per cell, and collect summaries into a renderable grid.
+
+Cells are independent deployments, so when the attacker is given as a
+registry *name* (e.g. ``"cityhunter"``) the grid fans out over the
+parallel executor (:mod:`repro.experiments.parallel`).  Passing a
+factory callable instead keeps the legacy in-process serial path, which
+accepts arbitrary closures and arbitrary city/WiGLE objects.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import SessionSummary, summarize
+from repro.experiments.parallel import RunSpec, run_specs
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.util.tables import render_table
 
@@ -54,36 +63,71 @@ class SweepResult:
         return [(cell.params[param], cell.h_b) for cell in self.cells]
 
 
+def _grid_configs(
+    base_config: ScenarioConfig, grid: Dict[str, Sequence]
+) -> List[Dict[str, object]]:
+    """The cell parameter dicts, first key varying slowest."""
+    names = list(grid)
+    for name in names:
+        if not hasattr(base_config, name):
+            raise ValueError(f"ScenarioConfig has no field {name!r}")
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(*(grid[n] for n in names))
+    ]
+
+
 def sweep(
     city,
     wigle,
-    attacker_factory: Callable,
+    attacker: Union[str, Callable],
     base_config: ScenarioConfig,
     grid: Dict[str, Sequence],
     run_extra: float = 30.0,
+    workers: Optional[int] = None,
+    city_seed: int = 42,
 ) -> SweepResult:
-    """Run ``attacker_factory`` once per grid cell.
+    """Run the attacker once per grid cell.
 
     ``grid`` maps :class:`ScenarioConfig` field names to value lists;
     the cartesian product is executed in a deterministic order (first
     key varies slowest).  Each cell gets a fresh scenario built from
     ``base_config`` with the cell's values substituted.
-    """
-    import dataclasses
-    import itertools
 
-    names = list(grid)
-    for name in names:
-        if not hasattr(base_config, name):
-            raise ValueError(f"ScenarioConfig has no field {name!r}")
-    result = SweepResult(varied=names)
-    for values in itertools.product(*(grid[n] for n in names)):
-        config = dataclasses.replace(base_config, **dict(zip(names, values)))
-        build = build_scenario(city, wigle, config, attacker_factory)
+    When ``attacker`` is a registry name, cells run through the parallel
+    executor against the shared city/registry for ``city_seed`` (the
+    ``city``/``wigle`` arguments must be that shared pair, or ``None``).
+    When it is a factory callable, cells run serially in-process against
+    exactly the objects passed in.
+    """
+    cells_params = _grid_configs(base_config, grid)
+    result = SweepResult(varied=list(grid))
+    if isinstance(attacker, str):
+        specs = []
+        for params in cells_params:
+            config = dataclasses.replace(base_config, **params)
+            specs.append(
+                RunSpec(
+                    attacker=attacker,
+                    scenario=config,
+                    seed=config.seed,
+                    duration=config.duration,
+                    run_extra=run_extra,
+                    city_seed=city_seed,
+                    tag="sweep:" + ",".join(f"{k}={v}" for k, v in params.items()),
+                )
+            )
+        outcomes = run_specs(specs, workers=workers)
+        for params, outcome in zip(cells_params, outcomes):
+            result.cells.append(SweepCell(params=params, summary=outcome.summary))
+        return result
+    for params in cells_params:
+        config = dataclasses.replace(base_config, **params)
+        build = build_scenario(city, wigle, config, attacker)
         build.sim.run(config.duration + run_extra)
         result.cells.append(
             SweepCell(
-                params=dict(zip(names, values)),
+                params=params,
                 summary=summarize(build.attacker.session),
             )
         )

@@ -9,18 +9,13 @@ stable run-to-run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.breakdown import breakdown_hits
 from repro.analysis.metrics import SessionSummary
-from repro.experiments.attackers import (
-    make_cityhunter,
-    make_cityhunter_basic,
-    make_karma,
-    make_mana,
-)
-from repro.experiments.calibration import default_city, venue_profile
-from repro.experiments.runner import ExperimentResult, run_experiment, shared_wigle
+from repro.experiments.calibration import default_city
+from repro.experiments.parallel import RunSpec, RunSummary, run_specs
+from repro.experiments.runner import ExperimentResult, shared_wigle
 from repro.util.tables import render_table
 from repro.wigle.queries import top_ssids_by_count, top_ssids_by_heat
 
@@ -44,7 +39,7 @@ class TableResult:
     title: str
     headers: Sequence[str]
     rows: List[list]
-    runs: List[ExperimentResult] = field(default_factory=list)
+    runs: List[Union[ExperimentResult, RunSummary]] = field(default_factory=list)
 
     def render(self) -> str:
         """ASCII rendering in the paper's layout."""
@@ -55,73 +50,96 @@ class TableResult:
         return [r.summary for r in self.runs]
 
 
-def table1(seed: int = DEFAULT_SEED, duration: float = DEFAULT_DURATION) -> TableResult:
+def _attacker_rows(
+    labelled_attackers: Sequence[Sequence[str]],
+    venue: str,
+    seed: int,
+    duration: float,
+    workers: Optional[int] = None,
+) -> List[RunSummary]:
+    """Run one deployment per (label, attacker-name) pair, in parallel."""
+    specs = [
+        RunSpec(attacker=name, venue=venue, seed=seed, duration=duration,
+                tag=label)
+        for label, name in labelled_attackers
+    ]
+    return run_specs(specs, workers=workers)
+
+
+def table1(
+    seed: int = DEFAULT_SEED,
+    duration: float = DEFAULT_DURATION,
+    workers: Optional[int] = None,
+) -> TableResult:
     """Table I: KARMA vs MANA in the canteen (30-minute deployments)."""
-    city = default_city()
-    wigle = shared_wigle()
-    profile = venue_profile("canteen")
-    rows = []
-    runs = []
-    for label, factory in [("KARMA", make_karma()), ("MANA", make_mana())]:
-        result = run_experiment(city, wigle, factory, profile, duration, seed=seed)
-        rows.append(result.summary.as_table_row(label))
-        runs.append(result)
+    runs = _attacker_rows(
+        [("KARMA", "karma"), ("MANA", "mana")], "canteen", seed, duration,
+        workers,
+    )
+    rows = [run.summary.as_table_row(run.spec.tag) for run in runs]
     return TableResult(
         "Table I: Comparing the results of KARMA and MANA", TABLE_HEADERS, rows, runs
     )
 
 
-def table2(seed: int = DEFAULT_SEED, duration: float = DEFAULT_DURATION) -> TableResult:
+def table2(
+    seed: int = DEFAULT_SEED,
+    duration: float = DEFAULT_DURATION,
+    workers: Optional[int] = None,
+) -> TableResult:
     """Table II: MANA vs preliminary City-Hunter in the canteen.
 
     Also reports the share of broadcast hits sourced from WiGLE, which
     the paper quotes as ~74 %.
     """
-    city = default_city()
-    wigle = shared_wigle()
-    profile = venue_profile("canteen")
-    rows = []
-    runs = []
-    for label, factory in [
-        ("MANA", make_mana()),
-        ("City-Hunter", make_cityhunter_basic(wigle)),
-    ]:
-        result = run_experiment(city, wigle, factory, profile, duration, seed=seed)
-        rows.append(result.summary.as_table_row(label))
-        runs.append(result)
-    table = TableResult(
+    runs = _attacker_rows(
+        [("MANA", "mana"), ("City-Hunter", "cityhunter-basic")],
+        "canteen", seed, duration, workers,
+    )
+    rows = [run.summary.as_table_row(run.spec.tag) for run in runs]
+    return TableResult(
         "Table II: MANA vs City-Hunter with the two improvements",
         TABLE_HEADERS,
         rows,
         runs,
     )
-    return table
 
 
-def wigle_share_of_broadcast_hits(result: ExperimentResult) -> float:
-    """Fraction of broadcast hits whose SSID came from WiGLE."""
-    source, _buffers = breakdown_hits(result.session)
+def wigle_share_of_broadcast_hits(
+    result: Union[ExperimentResult, RunSummary],
+) -> float:
+    """Fraction of broadcast hits whose SSID came from WiGLE.
+
+    Accepts either a full in-process :class:`ExperimentResult` or a
+    :class:`RunSummary` from the parallel executor (whose breakdown was
+    computed worker-side).
+    """
+    source = getattr(result, "source", None)
+    if source is None:
+        source, _buffers = breakdown_hits(result.session)
     total = source.from_wigle + source.from_direct + source.from_other
     if total == 0:
         return 0.0
     return source.from_wigle / total
 
 
-def table3(seed: int = DEFAULT_SEED, duration: float = DEFAULT_DURATION) -> TableResult:
+def table3(
+    seed: int = DEFAULT_SEED,
+    duration: float = DEFAULT_DURATION,
+    workers: Optional[int] = None,
+) -> TableResult:
     """Table III: preliminary City-Hunter in the subway passage."""
-    city = default_city()
-    wigle = shared_wigle()
-    profile = venue_profile("passage")
-    result = run_experiment(
-        city, wigle, make_cityhunter_basic(wigle), profile, duration, seed=seed
+    runs = _attacker_rows(
+        [("Subway Passage", "cityhunter-basic")], "passage", seed, duration,
+        workers,
     )
     headers = ["Scenario"] + TABLE_HEADERS[1:]
-    rows = [result.summary.as_table_row("Subway Passage")]
+    rows = [runs[0].summary.as_table_row("Subway Passage")]
     return TableResult(
         "Table III: Performance of City-Hunter in the subway passage",
         headers,
         rows,
-        [result],
+        runs,
     )
 
 

@@ -29,7 +29,9 @@ class Scheduler:
             raise ValueError("cannot schedule into the past: delay=%r" % delay)
         return self.schedule_at(self.clock.now + delay, fn, *args)
 
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
         """Schedule ``fn(*args)`` to run at absolute time ``time``."""
         if time < self.clock.now:
             raise ValueError(

@@ -7,7 +7,7 @@ method — phones, attackers and arrival processes all qualify.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List
 
 from repro.sim.clock import Clock
 from repro.sim.events import EventHandle

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.city.aps import AccessPoint
 from repro.geo.grid import SpatialGrid
@@ -12,10 +12,17 @@ from repro.wigle.records import WigleRecord
 
 
 class WigleDatabase:
-    """All wardriven APs of the city, indexed for the attack's queries."""
+    """All wardriven APs of the city, indexed for the attack's queries.
+
+    The registry is immutable once built: the record set is stored as a
+    tuple and every query returns a fresh container, so one database
+    instance can safely back many experiment runs (the experiment runner
+    caches and shares it — see ``repro.experiments.runner.shared_wigle``)
+    without any run observing another run's mutations.
+    """
 
     def __init__(self, records: Iterable[WigleRecord], grid_cell: float = 250.0):
-        self._records: List[WigleRecord] = list(records)
+        self._records: Tuple[WigleRecord, ...] = tuple(records)
         self._grid: SpatialGrid[WigleRecord] = SpatialGrid(grid_cell)
         self._by_ssid: Dict[str, List[WigleRecord]] = defaultdict(list)
         for rec in self._records:
@@ -31,8 +38,8 @@ class WigleDatabase:
         return len(self._records)
 
     @property
-    def records(self) -> List[WigleRecord]:
-        """Every record (copy-safe: callers must not mutate)."""
+    def records(self) -> Tuple[WigleRecord, ...]:
+        """Every record, as an immutable tuple."""
         return self._records
 
     def ssids(self) -> List[str]:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.breakdown import breakdown_hits
-from repro.analysis.metrics import SessionSummary, summarize
+from repro.analysis.metrics import summarize
 from repro.analysis.session import AttackSession, SentSsid
 from repro.analysis.timeseries import (
     cumulative_broadcast_connections,

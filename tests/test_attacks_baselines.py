@@ -1,7 +1,5 @@
 """Tests for KARMA and MANA (repro.attacks)."""
 
-import pytest
-
 from repro.analysis.session import AttackSession
 from repro.attacks.karma import KarmaAttacker
 from repro.attacks.mana import ManaAttacker

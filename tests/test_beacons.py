@@ -1,7 +1,5 @@
 """Tests for beaconing APs and passive phone discovery."""
 
-import pytest
-
 from repro.devices.access_point import LegitAp
 from repro.devices.phone import Phone
 from repro.devices.profiles import ScanProfile

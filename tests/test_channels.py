@@ -3,7 +3,6 @@
 import pytest
 
 from repro.attacks.karma import KarmaAttacker
-from repro.core.hunter import CityHunter
 from repro.devices.phone import Phone
 from repro.devices.profiles import ScanProfile
 from repro.dot11.capabilities import NetworkProfile, Security

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.city.aps import ATTACK_VENUE_KINDS, terminal_region
-from repro.city.chains import PlacementMix, ChainSpec, default_chain_catalog
+from repro.city.chains import ChainSpec, PlacementMix, default_chain_catalog
 from repro.city.model import CityConfig, build_city
 from repro.city.venues import VenueKind, default_venues, venue_by_name
-from repro.dot11.capabilities import Security
 from repro.dot11.ssid import validate_ssid
 from repro.geo.point import Point
 from repro.geo.region import Rect

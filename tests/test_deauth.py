@@ -4,11 +4,8 @@ import pytest
 
 from repro.analysis.session import AttackSession
 from repro.attacks.deauth import DeauthEmitter
-from repro.devices.access_point import LegitAp
 from repro.dot11.medium import Medium
 from repro.experiments.attackers import make_cityhunter
-from repro.experiments.calibration import venue_profile
-from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.geo.point import Point
 from repro.sim.simulation import Simulation

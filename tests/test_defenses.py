@@ -4,13 +4,12 @@ import pytest
 
 from repro.defenses.detector import CanaryProbeDetector, MultiSsidDetector
 from repro.devices.access_point import LegitAp
+from repro.dot11.frames import ProbeRequest
+from repro.dot11.medium import Medium
 from repro.experiments.attackers import make_cityhunter, make_karma, make_mana
-from repro.experiments.calibration import venue_profile
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.geo.point import Point
 from repro.sim.simulation import Simulation
-from repro.dot11.medium import Medium
-from repro.dot11.frames import ProbeRequest
 
 
 def _deploy_with_detectors(city, wigle, attacker_factory, duration=600.0):

@@ -1,7 +1,5 @@
 """Extra coverage for the figure generators and CLI figure paths."""
 
-import pytest
-
 from repro.cli import main
 from repro.experiments.figures import fig5_all
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.dot11.capabilities import Security
 from repro.dot11.frames import ProbeRequest, ProbeResponse
-from repro.dot11.mac import BROADCAST_MAC
 from repro.dot11.medium import Medium
 from repro.geo.point import Point
 from repro.sim.simulation import Simulation

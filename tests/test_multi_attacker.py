@@ -6,14 +6,10 @@ APs attach to the same radio space, and clients simply join whichever
 matching response arrives first.
 """
 
-import pytest
-
-from repro.attacks.karma import KarmaAttacker
 from repro.attacks.mana import ManaAttacker
 from repro.core.hunter import CityHunter
 from repro.dot11.mac import random_ap_mac
 from repro.experiments.attackers import make_karma
-from repro.experiments.calibration import venue_profile
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.geo.point import Point
 

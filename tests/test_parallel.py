@@ -1,0 +1,192 @@
+"""Tests for the parallel experiment executor (repro.experiments.parallel).
+
+The load-bearing property is exactness: the same spec batch must produce
+bit-identical results at any worker count, which in turn rests on
+platform-stable derived seeds and on the shared city/WiGLE caches being
+immutable.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    RunSpec,
+    derive_run_seeds,
+    execute_spec,
+    replicates,
+    resolve_workers,
+    run_specs,
+)
+from repro.experiments.runner import shared_wigle
+from repro.experiments.scenarios import ScenarioConfig
+
+# A deliberately tiny deployment so the pooled tests stay fast.
+_QUICK = dict(duration=150.0, fidelity="burst")
+
+
+def _scenario(seed=0):
+    return ScenarioConfig(
+        venue_name="University Canteen",
+        mobility="static",
+        people_per_min=25.0,
+        duration=150.0,
+        seed=seed,
+    )
+
+
+def _quick_specs(n=4, seed=7):
+    return [
+        RunSpec(
+            attacker="cityhunter",
+            venue="canteen",
+            seed=s,
+            tag=f"quick:{i}",
+            **_QUICK,
+        )
+        for i, s in enumerate(derive_run_seeds(seed, n))
+    ]
+
+
+class TestDerivedSeeds:
+    def test_stable_across_platforms(self):
+        # SHA-256 derivation: these exact values must hold on every
+        # platform and Python version, or parallel runs stop being
+        # reproducible across machines.
+        assert derive_run_seeds(7, 4) == [
+            12198374251171650740,
+            6662240684437893218,
+            17493429955678932808,
+            9053598780155620301,
+        ]
+
+    def test_distinct(self):
+        seeds = derive_run_seeds(7, 64)
+        assert len(set(seeds)) == 64
+
+    def test_master_seed_matters(self):
+        assert derive_run_seeds(1, 8) != derive_run_seeds(2, 8)
+
+
+class TestRunSpec:
+    def test_unknown_attacker_rejected(self):
+        with pytest.raises(ValueError, match="unknown attacker"):
+            RunSpec(attacker="evil-twin", venue="canteen")
+
+    def test_exactly_one_route_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            RunSpec(attacker="karma")
+        with pytest.raises(ValueError, match="exactly one"):
+            RunSpec(
+                attacker="karma",
+                venue="canteen",
+                scenario=_scenario(),
+            )
+
+    def test_replicates_have_distinct_seeds_and_tags(self):
+        base = RunSpec(attacker="karma", venue="canteen", seed=5, tag="base")
+        reps = replicates(base, 4)
+        assert len(reps) == 4
+        assert len({r.seed for r in reps}) == 4
+        assert [r.tag for r in reps] == [f"base:rep{i}" for i in range(4)]
+
+    def test_replicates_reseed_scenario_route(self):
+        base = RunSpec(
+            attacker="cityhunter",
+            scenario=_scenario(seed=3),
+        )
+        reps = replicates(base, 3, master_seed=9)
+        for rep in reps:
+            assert rep.scenario.seed == rep.seed
+        assert [r.seed for r in reps] == derive_run_seeds(9, 3)
+
+
+class TestResolveWorkers:
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() >= 1
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_exactly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMINGS_DIR", str(tmp_path))
+        specs = _quick_specs()
+        serial = run_specs(specs, workers=1)
+        pooled = run_specs(specs, workers=2)
+        assert [r.spec.tag for r in pooled] == [s.tag for s in specs]
+        for a, b in zip(serial, pooled):
+            assert a.summary == b.summary
+            assert a.source == b.source
+            assert a.buffers == b.buffers
+            assert a.people_spawned == b.people_spawned
+
+    def test_env_worker_count_is_equivalent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMINGS_DIR", str(tmp_path))
+        specs = _quick_specs(n=2)
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        serial = run_specs(specs)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        pooled = run_specs(specs)
+        assert [r.summary for r in serial] == [r.summary for r in pooled]
+
+
+class TestTimingsArtefact:
+    def test_contents(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMINGS_DIR", str(tmp_path))
+        specs = _quick_specs(n=2)
+        results = run_specs(specs, workers=1, timings_name="timings_test")
+        doc = json.loads((tmp_path / "timings_test.json").read_text())
+        assert doc["workers"] == 1
+        assert doc["run_count"] == 2
+        assert doc["total_wall_time_s"] > 0
+        assert doc["serial_estimate_s"] == pytest.approx(
+            sum(round(r.wall_time, 4) for r in results), abs=1e-3
+        )
+        assert doc["speedup_vs_serial_estimate"] is not None
+        assert [run["tag"] for run in doc["runs"]] == ["quick:0", "quick:1"]
+        assert all(run["venue"] == "canteen" for run in doc["runs"])
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMINGS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TIMINGS", "0")
+        run_specs(_quick_specs(n=1), workers=1, timings_name="timings_off")
+        assert not (tmp_path / "timings_off.json").exists()
+
+
+class TestSharedWigleImmutability:
+    def test_records_cannot_be_mutated(self):
+        wigle = shared_wigle()
+        assert isinstance(wigle.records, tuple)
+        with pytest.raises((AttributeError, TypeError)):
+            wigle.records.append(None)
+
+    def test_sequential_runs_from_cache_are_independent(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: the City-Hunter attacker seeds its own database
+        # from the cached WiGLE registry; a first run must not leak
+        # learned weights into a second run built from the same cache.
+        monkeypatch.setenv("REPRO_TIMINGS", "0")
+        spec = RunSpec(attacker="cityhunter", venue="canteen", seed=11, **_QUICK)
+        first = execute_spec(spec)
+        second = execute_spec(spec)
+        assert first.summary == second.summary
+        assert first.source == second.source
+        assert first.buffers == second.buffers

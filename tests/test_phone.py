@@ -5,7 +5,6 @@ medium, so the 40-response reception ceiling is exercised end-to-end
 rather than assumed.
 """
 
-import numpy as np
 import pytest
 
 from repro.devices.phone import Phone

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.dot11.capabilities import NetworkProfile, Security
 from repro.population.groups import GroupModel, draw_group_core, member_share
 from repro.population.person import OsFamily, PersonSpec
-from repro.population.pnl import CARRIER_SSIDS, PnlModel, VenueContext
+from repro.population.pnl import CARRIER_SSIDS, VenueContext
 from repro.population.synthesis import PersonFactory
-from repro.dot11.capabilities import NetworkProfile, Security
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.devices.phone import Phone
 from repro.experiments.attackers import make_cityhunter, make_karma, make_mana
 from repro.experiments.calibration import venue_profile
 from repro.experiments.runner import run_experiment

@@ -1,7 +1,6 @@
 """Tests for per-client SSID selection (repro.core.selection)."""
 
 import numpy as np
-import pytest
 
 from repro.core.adaptive import AdaptiveSplit
 from repro.core.config import CityHunterConfig
@@ -138,7 +137,8 @@ class TestOriginAttribution:
     def test_recent_direct_probe_flips_to_direct(self):
         entry = SsidEntry("x", 1.0, "wigle")
         entry.last_direct_seen = 100.0
-        assert send_origin(entry, now=100.0 + DIRECT_ATTRIBUTION_WINDOW_S / 2) == "direct"
+        now = 100.0 + DIRECT_ATTRIBUTION_WINDOW_S / 2
+        assert send_origin(entry, now=now) == "direct"
 
     def test_stale_direct_probe_reverts_to_wigle(self):
         entry = SsidEntry("x", 1.0, "wigle")

@@ -8,7 +8,6 @@ always matches the database.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.adaptive import AdaptiveSplit

@@ -11,7 +11,6 @@ from repro.dot11.frames import (
     ProbeResponse,
 )
 from repro.dot11.medium import Medium
-from repro.experiments.calibration import venue_profile
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.geo.point import Point
 from repro.sim.simulation import Simulation

@@ -55,7 +55,10 @@ class TestUniqueNames:
             textgen.unique_names(-1, textgen.shop_ssid, rng)
 
     @settings(max_examples=20, deadline=None)
-    @given(st.integers(min_value=0, max_value=400), st.integers(min_value=0, max_value=2**31))
+    @given(
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=2**31),
+    )
     def test_property_count_and_validity(self, count, seed):
         rng = np.random.default_rng(seed)
         names = textgen.unique_names(count, textgen.home_router_ssid, rng)
