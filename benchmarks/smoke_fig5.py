@@ -4,12 +4,15 @@
 Runs the midday slot for all four venues (4 runs fanned out over
 ``REPRO_WORKERS`` workers, 15 simulated minutes each), emits the
 rendered figure to ``benchmarks/out/fig5_smoke.txt`` and leaves the
-executor's ``benchmarks/out/timings.json`` behind so CI can archive the
-speedup numbers.
+executor's ``benchmarks/out/timings.json`` and ``metrics.json`` behind
+so CI can archive the speedup numbers and the merged observability
+snapshot.  The metrics artefact is schema-validated here, so a malformed
+export fails the job instead of shipping a broken artefact.
 
-Run:  REPRO_WORKERS=4 python benchmarks/smoke_fig5.py
+Run:  REPRO_TRACE=1 REPRO_WORKERS=4 python benchmarks/smoke_fig5.py
 """
 
+import json
 import pathlib
 import sys
 
@@ -28,10 +31,26 @@ def main() -> int:
         assert res.slots, f"no slot results for {key}"
         for slot in res.slots:
             assert slot.h >= slot.h_b, f"h < h_b at {key} slot {slot.slot}"
-    timings = pathlib.Path("benchmarks/out/timings.json")
+    from repro.analysis.observability import provenance_breakdown
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.registry import validate_metrics_doc
+
+    timings = artifact_path("timings")
     if timings.exists():
         print(f"\ntimings artefact: {timings}")
         print(timings.read_text())
+
+    metrics = artifact_path("metrics")
+    assert metrics.exists(), f"missing metrics artefact: {metrics}"
+    doc = json.loads(metrics.read_text())
+    validate_metrics_doc(doc)
+    merged = doc["merged"]
+    assert merged["counters"].get("run.count"), "merged metrics lost run.count"
+    print(f"metrics artefact: {metrics} (schema {doc['schema']}, "
+          f"{doc['run_count']} runs, {doc['workers']} workers)")
+    for prov, sent, hits, _misses, rate in provenance_breakdown(merged):
+        print(f"  {prov:18s} sent={sent:7d} hits={hits:4d} "
+              f"rate={100 * rate:5.1f}%")
     return 0
 
 

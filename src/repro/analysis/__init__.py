@@ -11,10 +11,22 @@ buffer breakdowns.
 
 from repro.analysis.breakdown import BufferBreakdown, SourceBreakdown, breakdown_hits
 from repro.analysis.metrics import SessionSummary, summarize
+from repro.analysis.observability import (
+    load_metrics,
+    pbfb_timeline,
+    provenance_breakdown,
+    top_hit_ssids,
+    trace_window_counts,
+)
 from repro.analysis.session import AttackSession, ClientRecord, SentSsid
 from repro.analysis.timeseries import WindowStat, windowed_broadcast_hit_rate
 
 __all__ = [
+    "load_metrics",
+    "pbfb_timeline",
+    "provenance_breakdown",
+    "top_hit_ssids",
+    "trace_window_counts",
     "AttackSession",
     "ClientRecord",
     "SentSsid",

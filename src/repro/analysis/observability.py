@@ -1,0 +1,116 @@
+"""Readers for the metrics artefact and trace windows.
+
+These helpers turn the raw ``metrics.json`` document (written by
+:func:`repro.experiments.parallel.write_metrics`) back into the views
+the paper cares about: the Table II-style provenance breakdown of sent
+SSIDs vs hits, the top hit SSIDs, and the PB/FB adaptation timeline of
+one run.  They operate on plain dicts so they work equally on a
+just-merged registry or on a document loaded from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Dict, List, Tuple, Union
+
+from repro.obs.registry import parse_key, validate_metrics_doc
+from repro.sim.tracing import Trace
+
+PROVENANCE_ORDER = (
+    "wigle-near",
+    "wigle-heat",
+    "wigle",
+    "carrier",
+    "overheard-direct",
+    "mimic",
+)
+"""Display order for provenance rows (coarse ``wigle`` appears only for
+flat-database attackers that cannot split near from heat-ranked)."""
+
+
+def load_metrics(path: Union[str, pathlib.Path]) -> dict:
+    """Load and validate a metrics artefact document."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    validate_metrics_doc(doc)
+    return doc
+
+
+def _sum_by_label(
+    counters: Dict[str, float], name: str, label: str
+) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key, value in counters.items():
+        base, labels = parse_key(key)
+        if base == name and label in labels:
+            out[labels[label]] = out.get(labels[label], 0) + value
+    return out
+
+
+def provenance_breakdown(
+    snapshot: dict,
+) -> List[Tuple[str, int, int, int, float]]:
+    """Rows of (provenance, ssids_sent, hits, misses, hit_rate).
+
+    ``misses`` counts advertised SSIDs that never produced a hit for
+    that provenance class — the efficiency view behind the paper's
+    Table II / Fig. 6 discussion.  Provenances the run never touched are
+    omitted; unknown labels sort after the canonical order.
+    """
+    counters = snapshot.get("counters", {})
+    sent = _sum_by_label(counters, "attacker.ssids_sent", "provenance")
+    hits = _sum_by_label(counters, "attacker.hits", "provenance")
+    seen = set(sent) | set(hits)
+    ordered = [p for p in PROVENANCE_ORDER if p in seen]
+    ordered += sorted(seen - set(PROVENANCE_ORDER))
+    rows = []
+    for prov in ordered:
+        s = int(sent.get(prov, 0))
+        h = int(hits.get(prov, 0))
+        rows.append((prov, s, h, max(0, s - h), h / s if s else 0.0))
+    return rows
+
+
+def top_hit_ssids(snapshot: dict, n: int = 10) -> List[Tuple[str, int]]:
+    """The ``n`` SSIDs with the most hits, ties broken alphabetically."""
+    tally: Counter = Counter()
+    for key, value in snapshot.get("counters", {}).items():
+        base, labels = parse_key(key)
+        if base == "attacker.hit_ssids" and "ssid" in labels:
+            tally[labels["ssid"]] += int(value)
+    return sorted(tally.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+
+def pbfb_timeline(snapshot: dict) -> List[Tuple[float, int, int]]:
+    """(time, pb_size, fb_size) points of one run's adaptation timeline.
+
+    FB values are matched to PB points by timestamp; a lone PB point
+    (should not happen — both series append together) falls back to the
+    previous FB value.
+    """
+    series = snapshot.get("series", {})
+    pb = series.get("hunter.pb_size", [])
+    fb_at = {t: v for t, v in series.get("hunter.fb_size", [])}
+    out: List[Tuple[float, int, int]] = []
+    last_fb = 0
+    for t, v in pb:
+        last_fb = fb_at.get(t, last_fb)
+        out.append((float(t), int(v), int(last_fb)))
+    return out
+
+
+def run_events(doc: dict) -> List[Dict[str, object]]:
+    """Every retained event of the batch, tagged with its run tag."""
+    out: List[Dict[str, object]] = []
+    for run in doc.get("runs", []):
+        for event in run.get("events", []):
+            out.append({"run": run.get("tag", ""), **event})
+    return out
+
+
+def trace_window_counts(
+    trace: Trace, t0: float, t1: float
+) -> Dict[str, int]:
+    """Per-kind record counts inside ``[t0, t1)`` of a live trace."""
+    return dict(Counter(r.kind for r in trace.between(t0, t1)))

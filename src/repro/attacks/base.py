@@ -26,10 +26,24 @@ from repro.dot11.mac import MacAddress
 from repro.dot11.medium import Medium
 from repro.dot11.timing import DEFAULT_SCAN_TIMING, ScanTiming
 from repro.geo.point import Point
+from repro.obs.registry import MetricsRegistry
 from repro.sim.simulation import Simulation
 
 DEFAULT_ATTACKER_RANGE_M = 55.0
 """Radio reach of the 100 mW prototype (Section V-A)."""
+
+BURST_SIZE_BUCKETS = (1, 2, 5, 10, 20, 30, 40, 80)
+"""Histogram bounds for response-burst sizes (the paper caps at 40)."""
+
+PROVENANCE_BY_ORIGIN = {
+    "wigle": "wigle",
+    "direct": "overheard-direct",
+    "carrier": "carrier",
+    "mimic": "mimic",
+}
+"""Coarse origin → metric provenance label.  Attackers with a seeded
+weighted database refine ``wigle`` into ``wigle-near`` /
+``wigle-heat`` (see :meth:`RogueAp.provenance_of`)."""
 
 
 class RogueAp:
@@ -67,6 +81,22 @@ class RogueAp:
         self.sim = sim
         self.medium.attach(self, self.tx_range)
 
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The owning simulation's registry (None before ``start``)."""
+        return self.sim.metrics if self.sim is not None else None
+
+    def provenance_of(self, ssid: str, origin: Optional[str]) -> str:
+        """Metric provenance label for one advertised/hit SSID.
+
+        The base mapping is by coarse origin; attackers with a seeded
+        database override this to split WiGLE-near from city-wide
+        heat-ranked entries.
+        """
+        if origin is None:
+            return "unknown"
+        return PROVENANCE_BY_ORIGIN.get(origin, origin)
+
     # -- strategy hooks ------------------------------------------------------
 
     def on_broadcast_probe(self, client: MacAddress, time: float) -> None:
@@ -82,11 +112,21 @@ class RogueAp:
 
     def receive(self, frame: Frame, time: float) -> None:
         """Dispatch one received frame."""
+        metrics = self.metrics
         if isinstance(frame, ProbeRequest):
             if frame.channel != self.channel:
                 return  # probing a channel we are not camped on
             direct = not frame.is_broadcast_probe
             self.session.observe_probe(frame.src, time, direct)
+            if metrics is not None:
+                metrics.inc(
+                    "attacker.probes",
+                    type="direct" if direct else "broadcast",
+                )
+            if self.sim is not None:
+                self.sim.emit(
+                    "probe", frame.src, "direct" if direct else "broadcast"
+                )
             if direct:
                 self.on_direct_probe(frame.src, frame.ssid, time)
             else:
@@ -94,17 +134,36 @@ class RogueAp:
         elif isinstance(frame, AuthRequest):
             self.medium.transmit(self, AuthResponse(self.mac, frame.src, True))
         elif isinstance(frame, AssocRequest):
-            self.session.record_hit(frame.src, time, frame.ssid)
+            prior = self.session.clients.get(frame.src)
+            fresh_hit = prior is None or not prior.connected
+            record = self.session.record_hit(frame.src, time, frame.ssid)
+            if fresh_hit:
+                self._count_hit(record)
+                if self.sim is not None:
+                    self.sim.emit("hit", frame.src, frame.ssid)
             self.medium.transmit(
                 self, AssocResponse(self.mac, frame.src, frame.ssid, True)
             )
             self.on_hit(frame.src, frame.ssid, time)
+
+    def _count_hit(self, record) -> None:
+        """Metric bookkeeping for one first-time association."""
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.inc(
+            "attacker.hits",
+            provenance=self.provenance_of(record.hit_ssid, record.hit_origin),
+            bucket=record.hit_bucket or "unknown",
+        )
+        metrics.inc("attacker.hit_ssids", ssid=record.hit_ssid)
 
     # -- transmit helpers ------------------------------------------------------
 
     def send_mimic(self, client: MacAddress, ssid: str, time: float) -> None:
         """Reply to a direct probe with an open evil twin of ``ssid``."""
         self.session.record_mimic(client, time, ssid)
+        self._count_sent([SentSsid(ssid, origin="mimic", bucket="mimic")])
         self.medium.transmit(
             self,
             ProbeResponse(self.mac, client, ssid, Security.OPEN),
@@ -118,10 +177,27 @@ class RogueAp:
         if not metas:
             return
         self.session.record_sent(client, time, metas)
+        self._count_sent(metas)
         responses: List[ProbeResponse] = [
             ProbeResponse(self.mac, client, meta.ssid, Security.OPEN)
             for meta in metas
         ]
         self.medium.transmit_response_burst(
             self, responses, self.timing.response_airtime
+        )
+
+    def _count_sent(self, metas: Sequence[SentSsid]) -> None:
+        """Metric bookkeeping for one outgoing response burst."""
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.inc("attacker.responses_sent", len(metas))
+        for meta in metas:
+            metrics.inc(
+                "attacker.ssids_sent",
+                provenance=self.provenance_of(meta.ssid, meta.origin),
+                bucket=meta.bucket,
+            )
+        metrics.observe(
+            "attacker.burst_size", len(metas), buckets=BURST_SIZE_BUCKETS
         )

@@ -65,4 +65,9 @@ class DeauthEmitter:
             self.medium.transmit(self, spoofed)
             if self.session is not None:
                 self.session.record_deauth()
+        self.sim.metrics.inc("deauth.cycles")
+        self.sim.metrics.inc("deauth.frames_sent", len(self.target_bssids))
+        self.sim.record_event(
+            "deauth_cycle", targets=len(self.target_bssids)
+        )
         self.sim.at(self.period, self._emit)

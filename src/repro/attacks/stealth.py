@@ -106,7 +106,11 @@ class StealthCityHunter(CityHunter):
         if isinstance(frame, AuthRequest):
             self.medium.transmit(alias, AuthResponse(alias_mac, frame.src, True))
         elif isinstance(frame, AssocRequest):
-            self.session.record_hit(frame.src, time, frame.ssid)
+            prior = self.session.clients.get(frame.src)
+            fresh_hit = prior is None or not prior.connected
+            record = self.session.record_hit(frame.src, time, frame.ssid)
+            if fresh_hit:
+                self._count_hit(record)
             self.medium.transmit(
                 alias, AssocResponse(alias_mac, frame.src, frame.ssid, True)
             )

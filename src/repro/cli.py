@@ -8,7 +8,9 @@ any code:
 * ``table``    — regenerate Table I, II, III or IV;
 * ``fig``      — regenerate Fig. 1, 2, 4 or 5/6 (optionally one venue);
 * ``report``   — regenerate everything and check every paper target;
-* ``city``     — print synthetic-city statistics and the heat map.
+* ``city``     — print synthetic-city statistics and the heat map;
+* ``obs``      — inspect a ``metrics.json`` artefact (summarize /
+  export events as JSONL / top-N SSIDs by hits).
 """
 
 from __future__ import annotations
@@ -149,6 +151,87 @@ def _cmd_city(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.observability import (
+        load_metrics,
+        pbfb_timeline,
+        provenance_breakdown,
+        run_events,
+        top_hit_ssids,
+    )
+    from repro.obs.artifacts import artifact_path
+
+    path = args.path or artifact_path("metrics")
+    try:
+        doc = load_metrics(path)
+    except FileNotFoundError:
+        print(f"no metrics artefact at {path} (run a batch first, or pass "
+              "--path)", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"invalid metrics artefact {path}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.action == "summarize":
+        merged = doc["merged"]
+        print(f"metrics artefact: {path}")
+        print(f"  runs: {doc['run_count']}   workers: {doc['workers']}")
+        counters = merged["counters"]
+        for key in ("attacker.probes", "attacker.responses_sent",
+                    "hunter.pbfb_swaps", "deauth.cycles",
+                    "phone.deauth_rescans"):
+            named = {
+                k: v for k, v in counters.items() if k.startswith(key)
+            }
+            for k, v in sorted(named.items()):
+                print(f"  {k} = {v:g}")
+        rows = [
+            [prov, sent, hits, misses, f"{100 * rate:.1f}%"]
+            for prov, sent, hits, misses, rate in provenance_breakdown(merged)
+        ]
+        if rows:
+            print(render_table(
+                ["provenance", "ssids sent", "hits", "misses", "hit rate"],
+                rows,
+                title="Provenance breakdown (merged over all runs)",
+            ))
+        swaps = sum(len(pbfb_timeline(r["metrics"])) for r in doc["runs"])
+        print(f"  PB/FB timeline points across runs: {swaps}")
+        drops = sum(
+            r["metrics"].get("gauges", {}).get("events.dropped", 0)
+            for r in doc["runs"]
+        )
+        print(f"  event-ring drops across runs: {drops:g}")
+        return 0
+
+    if args.action == "events":
+        events = run_events(doc)
+        if args.jsonl:
+            with open(args.jsonl, "w") as f:
+                for event in events:
+                    f.write(json.dumps(event, sort_keys=True) + "\n")
+            print(f"{len(events)} events written to {args.jsonl}")
+        else:
+            for event in events:
+                print(json.dumps(event, sort_keys=True))
+        return 0
+
+    if args.action == "top-ssids":
+        rows = [
+            [ssid, hits]
+            for ssid, hits in top_hit_ssids(doc["merged"], args.count)
+        ]
+        print(render_table(
+            ["ssid", "hits"], rows,
+            title=f"Top {args.count} SSIDs by hits",
+        ))
+        return 0
+
+    raise AssertionError(f"unhandled obs action {args.action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -194,6 +277,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run all 12 hourly Fig 5 slots per venue")
     report.add_argument("--out", help="write the markdown report here")
     report.set_defaults(func=_cmd_report)
+
+    obs = sub.add_parser(
+        "obs", help="inspect a metrics.json observability artefact"
+    )
+    obs_sub = obs.add_subparsers(dest="action", required=True)
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="headline counters + provenance breakdown"
+    )
+    obs_events = obs_sub.add_parser(
+        "events", help="dump the batch's structured events as JSON Lines"
+    )
+    obs_events.add_argument(
+        "--jsonl", help="write events here instead of stdout"
+    )
+    obs_top = obs_sub.add_parser(
+        "top-ssids", help="top-N SSIDs by recorded hits"
+    )
+    obs_top.add_argument("-n", "--count", type=int, default=10)
+    for obs_parser in (obs_summarize, obs_events, obs_top):
+        obs_parser.add_argument(
+            "--path",
+            help="metrics artefact to read (default: metrics.json in the "
+                 "resolved artefact directory)",
+        )
+        obs_parser.set_defaults(func=_cmd_obs)
 
     city = sub.add_parser("city", help="inspect the synthetic city")
     city.add_argument("--city-seed", type=int, default=42)

@@ -8,6 +8,8 @@ Both sizes are clamped so neither buffer disappears.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class AdaptiveSplit:
     """Mutable PB/FB size state under the total-40 constraint."""
@@ -39,15 +41,23 @@ class AdaptiveSplit:
         """Current freshness-buffer size (= total - PB)."""
         return self.total - self._pb
 
-    def on_hit(self, bucket: str) -> None:
-        """Feed one hit's provenance bucket into the adaptation."""
+    def on_hit(self, bucket: str) -> Optional[str]:
+        """Feed one hit's provenance bucket into the adaptation.
+
+        Returns the swap direction (``"grow_pb"`` / ``"grow_fb"``) when
+        the split actually moved, else None — the observability layer
+        records each swap as an event.
+        """
         if not self.enabled:
-            return
+            return None
         if bucket == "pb_ghost":
             if self._pb < self.total - self.min_size:
                 self._pb += 1
                 self.adjustments += 1
+                return "grow_pb"
         elif bucket == "fb_ghost":
             if self._pb > self.min_size:
                 self._pb -= 1
                 self.adjustments += 1
+                return "grow_fb"
+        return None

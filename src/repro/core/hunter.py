@@ -60,6 +60,23 @@ class CityHunter(RogueAp):
         super().start(sim)
         self._rng = sim.rngs.stream("cityhunter")
         self.session.record_db_size(sim.now, len(self.db))
+        self._record_split(sim.now)
+
+    def provenance_of(self, ssid: str, origin) -> str:
+        """Refine ``wigle`` into near/heat via the entry's seed class."""
+        if origin == "wigle":
+            entry = self.db.get(ssid)
+            if entry is not None and entry.seed_class:
+                return entry.seed_class
+        return super().provenance_of(ssid, origin)
+
+    def _record_split(self, time: float) -> None:
+        """Append the current PB/FB sizes to the metrics timelines."""
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.series_append("hunter.pb_size", time, self.split.pb_size)
+        metrics.series_append("hunter.fb_size", time, self.split.fb_size)
 
     @property
     def db_size(self) -> int:
@@ -92,6 +109,9 @@ class CityHunter(RogueAp):
                 ssid, self.config.direct_initial_weight, origin="direct", time=time
             )
             self.session.record_db_size(time, len(self.db))
+            if self.metrics is not None:
+                self.metrics.inc("hunter.db_adds", provenance="overheard-direct")
+                self.metrics.gauge_max("hunter.db_size_peak", len(self.db))
         entry = self.db.get(ssid)
         entry.direct_seen = True
         entry.last_direct_seen = time
@@ -112,4 +132,17 @@ class CityHunter(RogueAp):
         )
         self.db.trim_recency(self.config.recency_cap)
         if broadcast_hit:
-            self.split.on_hit(bucket)
+            direction = self.split.on_hit(bucket)
+            if direction is not None:
+                self._record_split(time)
+                if self.metrics is not None:
+                    self.metrics.inc("hunter.pbfb_swaps", direction=direction)
+                if self.sim is not None:
+                    self.sim.record_event(
+                        "pbfb_swap",
+                        direction=direction,
+                        pb=self.split.pb_size,
+                        fb=self.split.fb_size,
+                        trigger_bucket=bucket,
+                        ssid=ssid,
+                    )

@@ -46,11 +46,11 @@ def seed_database(
     else:
         popular = by_count
     for ssid, weight in zip(popular, rank_order_weights(len(popular))):
-        db.add(ssid, weight, origin="wigle")
+        db.add(ssid, weight, origin="wigle", seed_class="wigle-heat")
 
     nearby = wigle.nearest_free_ssids(position, config.n_nearby)
     for ssid, weight in zip(nearby, rank_order_weights(len(nearby))):
-        db.add(ssid, weight, origin="wigle")
+        db.add(ssid, weight, origin="wigle", seed_class="wigle-near")
 
     for ssid in config.carrier_ssids:
         db.add(ssid, config.carrier_weight, origin="carrier")

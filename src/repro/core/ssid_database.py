@@ -30,6 +30,19 @@ class SsidEntry:
     """When this SSID was last seen in a direct probe — the Fig. 6
     source-attribution uses a recency window over this."""
 
+    seed_class: str = ""
+    """Fine-grained provenance label for the metrics layer: how this
+    entry got into the database (``wigle-near``, ``wigle-heat``,
+    ``carrier``, ``overheard-direct``).  The coarse ``origin`` keeps the
+    Fig. 6 wigle/direct split unchanged."""
+
+
+_SEED_CLASS_BY_ORIGIN = {
+    "wigle": "wigle",
+    "direct": "overheard-direct",
+    "carrier": "carrier",
+}
+
 
 class WeightedSsidDatabase:
     """Weight- and recency-indexed SSID store."""
@@ -50,7 +63,12 @@ class WeightedSsidDatabase:
         return self._entries.get(ssid)
 
     def add(
-        self, ssid: str, weight: float, origin: str, time: float = 0.0
+        self,
+        ssid: str,
+        weight: float,
+        origin: str,
+        time: float = 0.0,
+        seed_class: str = "",
     ) -> bool:
         """Insert a new entry; returns False (and keeps the stronger
         weight) when the SSID is already present."""
@@ -61,7 +79,11 @@ class WeightedSsidDatabase:
                 self._ranked = None
             return False
         self._entries[ssid] = SsidEntry(
-            ssid=ssid, weight=weight, origin=origin, added_at=time
+            ssid=ssid,
+            weight=weight,
+            origin=origin,
+            added_at=time,
+            seed_class=seed_class or _SEED_CLASS_BY_ORIGIN.get(origin, origin),
         )
         self._ranked = None
         return True

@@ -257,6 +257,7 @@ class Phone:
         self.state = Phone.IDLE
         self.connected_bssid = None
         self.connected_ssid = None
+        self.sim.metrics.inc("phone.deauth_rescans")
         # Immediate rescan: deauth triggers a fresh scan cycle.
         self._scan_event = self.sim.at(
             float(self._rng.uniform(0.2, 2.0)), self._do_scan

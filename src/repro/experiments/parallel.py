@@ -24,7 +24,16 @@ Worker count comes from the ``REPRO_WORKERS`` environment variable
 fallback that never touches the process pool.  Each executor invocation
 also writes a ``benchmarks/out/timings.json`` artefact (per-run wall
 time, worker count, speedup vs the serial estimate) unless
-``REPRO_TIMINGS=0``.
+``REPRO_TIMINGS=0``, and a ``metrics.json`` artefact (each worker's
+:class:`~repro.obs.registry.MetricsRegistry` snapshot plus their merge)
+unless ``REPRO_METRICS=0``.  Both land in the directory resolved by
+:func:`repro.obs.artifacts.artifact_dir` (``REPRO_ARTIFACT_DIR``, or
+the legacy ``REPRO_TIMINGS_DIR``, or ``benchmarks/out``).
+
+Merged metrics are *worker-count invariant*: workers return snapshots in
+spec order and the parent folds them in that order, so every section
+except wall-clock ``timers`` is bit-identical between ``REPRO_WORKERS=1``
+and any pooled width.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ import os
 import pathlib
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.breakdown import (
@@ -48,14 +57,20 @@ from repro.experiments.attackers import ATTACKER_NAMES, make_attacker
 from repro.experiments.calibration import default_city, venue_profile
 from repro.experiments.runner import run_experiment, shared_wigle
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.obs.artifacts import (
+    LEGACY_TIMINGS_DIR_ENV,
+    artifact_path,
+    ensure_artifact_dir,
+)
+from repro.obs.registry import METRICS_SCHEMA, merge_snapshots
 from repro.population.groups import GroupModel
 from repro.population.pnl import PnlModel
 from repro.util.rng import derive_seed
 
 WORKERS_ENV = "REPRO_WORKERS"
 TIMINGS_ENV = "REPRO_TIMINGS"
-TIMINGS_DIR_ENV = "REPRO_TIMINGS_DIR"
-DEFAULT_TIMINGS_DIR = pathlib.Path("benchmarks") / "out"
+METRICS_ENV = "REPRO_METRICS"
+TIMINGS_DIR_ENV = LEGACY_TIMINGS_DIR_ENV  # re-export for compatibility
 
 
 @dataclass(frozen=True)
@@ -117,6 +132,12 @@ class RunSummary:
     people_spawned: int
     duration: float
     wall_time: float
+    metrics: Optional[dict] = None
+    """This run's :meth:`MetricsRegistry.to_dict` snapshot (None only
+    for summaries built before the observability layer existed)."""
+
+    events: Tuple[dict, ...] = field(default=())
+    """The run's retained structured events (capped ring buffer)."""
 
     @property
     def h(self) -> float:
@@ -201,6 +222,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     if spec.scenario is not None:
         build = build_scenario(city, wigle, spec.scenario, factory)
         build.sim.run(spec.scenario.duration + spec.run_extra)
+        sim = build.sim
         session = build.attacker.session
         summary = summarize(session)
         people = build.arrivals.people_spawned
@@ -220,11 +242,16 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             pnl_model=spec.pnl_model,
             group_model=spec.group_model,
         )
+        sim = result.attacker.sim
         session = result.session
         summary = result.summary
         people = result.people_spawned
         duration = result.duration
     wall = time.perf_counter() - start
+    sim.metrics.inc("run.count")
+    sim.metrics.inc("run.people_spawned", people)
+    sim.metrics.inc("run.sim_duration_s", duration)
+    sim.metrics.timer_add("run.wall", wall)
     source, buffers = breakdown_hits(session)
     return RunSummary(
         spec=spec,
@@ -234,6 +261,8 @@ def execute_spec(spec: RunSpec) -> RunSummary:
         people_spawned=people,
         duration=duration,
         wall_time=wall,
+        metrics=sim.metrics.to_dict(),
+        events=tuple(sim.events),
     )
 
 
@@ -241,6 +270,7 @@ def run_specs(
     specs: Sequence[RunSpec],
     workers: Optional[int] = None,
     timings_name: str = "timings",
+    metrics_name: str = "metrics",
 ) -> List[RunSummary]:
     """Execute every spec and return results in spec order.
 
@@ -248,7 +278,8 @@ def run_specs(
     one worker (or one spec) runs inline with no pool.  Results are
     bit-identical across worker counts because each run derives all of
     its randomness from its own spec and touches only immutable shared
-    state.  A timings artefact is written after every invocation.
+    state.  Timings and metrics artefacts are written after every
+    invocation (``REPRO_TIMINGS=0`` / ``REPRO_METRICS=0`` disable).
     """
     specs = list(specs)
     requested = resolve_workers(workers)
@@ -263,6 +294,7 @@ def run_specs(
     total_wall = time.perf_counter() - start
     write_timings(results, workers=used, total_wall=total_wall,
                   name=timings_name)
+    write_metrics(results, workers=used, name=metrics_name)
     return results
 
 
@@ -278,10 +310,64 @@ def _prewarm(specs: Sequence[RunSpec]) -> None:
 
 
 def timings_path(name: str = "timings") -> pathlib.Path:
-    """Where the timings artefact goes (``REPRO_TIMINGS_DIR`` or
-    ``benchmarks/out/`` under the current directory)."""
-    root = pathlib.Path(os.environ.get(TIMINGS_DIR_ENV) or DEFAULT_TIMINGS_DIR)
-    return root / f"{name}.json"
+    """Where the timings artefact goes (see
+    :func:`repro.obs.artifacts.artifact_dir` for the resolution rule)."""
+    return artifact_path(name)
+
+
+def metrics_path(name: str = "metrics") -> pathlib.Path:
+    """Where the metrics artefact goes (same directory as timings)."""
+    return artifact_path(name)
+
+
+def merged_metrics(results: Sequence[RunSummary]) -> dict:
+    """Fold every run's registry snapshot, in result order.
+
+    Result order is spec order regardless of worker count, so the merge
+    (float counter sums included) is worker-count invariant.
+    """
+    return merge_snapshots(r.metrics for r in results if r.metrics is not None)
+
+
+def write_metrics(
+    results: Sequence[RunSummary],
+    workers: int,
+    name: str = "metrics",
+) -> Optional[pathlib.Path]:
+    """Persist the batch metrics artefact; returns its path.
+
+    The document carries the merged registry plus one entry per run
+    (tag, seed, snapshot, retained events) so per-run timelines — the
+    PB/FB series in particular — survive next to the aggregate.  Set
+    ``REPRO_METRICS=0`` to disable.
+    """
+    if os.environ.get(METRICS_ENV, "1").strip() in ("0", "false", "off"):
+        return None
+    doc = {
+        "schema": METRICS_SCHEMA,
+        "workers": workers,
+        "run_count": len(results),
+        "merged": merged_metrics(results),
+        "runs": [
+            {
+                "tag": r.spec.tag,
+                "attacker": r.spec.attacker,
+                "venue": (
+                    r.spec.venue
+                    if r.spec.venue is not None
+                    else r.spec.scenario.venue_name
+                ),
+                "seed": r.spec.seed,
+                "metrics": r.metrics if r.metrics is not None else {},
+                "events": list(r.events),
+            }
+            for r in results
+        ],
+    }
+    ensure_artifact_dir()
+    path = metrics_path(name)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def write_timings(

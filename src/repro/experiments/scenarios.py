@@ -85,7 +85,9 @@ class ScenarioConfig:
     de-auth emitter can knock them loose.  When False they are simply
     absent, which is equivalent for every attacker that lacks de-auth."""
 
-    trace: bool = False
+    trace: Optional[bool] = None
+    """Row-level tracing: True/False force it; None defers to the
+    ``REPRO_TRACE`` environment variable (default off)."""
 
     def __post_init__(self) -> None:
         if self.duration <= 0:

@@ -1,0 +1,60 @@
+"""Observability: metrics registry, span tracing, event export.
+
+The package gives every run three cheap, always-on artefact streams —
+a :class:`MetricsRegistry` of counters/gauges/histograms, a capped
+:class:`EventSink` of structured events, and span/timer context
+managers — plus the single artefact-directory resolution rule shared by
+the timings and metrics writers.
+"""
+
+from repro.obs.artifacts import (
+    ARTIFACT_DIR_ENV,
+    DEFAULT_ARTIFACT_DIR,
+    LEGACY_TIMINGS_DIR_ENV,
+    artifact_dir,
+    artifact_path,
+    ensure_artifact_dir,
+)
+from repro.obs.events import (
+    DEFAULT_MAX_EVENTS,
+    EventSink,
+    read_jsonl,
+    write_events_jsonl,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    FixedHistogram,
+    MetricsRegistry,
+    merge_snapshots,
+    metric_key,
+    parse_key,
+    validate_metrics_doc,
+)
+from repro.obs.spans import NullSpan, Span, maybe_span, span, timer
+
+__all__ = [
+    "ARTIFACT_DIR_ENV",
+    "DEFAULT_ARTIFACT_DIR",
+    "LEGACY_TIMINGS_DIR_ENV",
+    "artifact_dir",
+    "artifact_path",
+    "ensure_artifact_dir",
+    "DEFAULT_MAX_EVENTS",
+    "EventSink",
+    "read_jsonl",
+    "write_events_jsonl",
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA",
+    "FixedHistogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "metric_key",
+    "parse_key",
+    "validate_metrics_doc",
+    "NullSpan",
+    "Span",
+    "maybe_span",
+    "span",
+    "timer",
+]

@@ -1,29 +1,60 @@
 """The :class:`Simulation` facade.
 
-Owns the clock, scheduler, RNG registry and trace; higher layers register
-entities against it.  An *entity* is anything with a ``start(sim)``
-method — phones, attackers and arrival processes all qualify.
+Owns the clock, scheduler, RNG registry, trace, metrics registry and
+event sink; higher layers register entities against it.  An *entity* is
+anything with a ``start(sim)`` method — phones, attackers and arrival
+processes all qualify.
+
+Observability: ``sim.metrics`` is the run's
+:class:`~repro.obs.registry.MetricsRegistry` and ``sim.events`` its
+capped :class:`~repro.obs.events.EventSink`; both are cheap enough to
+stay on for every run.  ``run``/``run_all`` are bracketed by spans
+(``span.sim.start_entities``, ``span.sim.run``) so every batch records
+its phase timeline.  The row-level :class:`~repro.sim.tracing.Trace`
+defaults to the ``REPRO_TRACE`` environment variable (off unless set to
+``1``/``true``/``on``) and can be forced either way per simulation.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+import os
+from typing import Any, Callable, List, Optional
 
+from repro.obs.events import EventSink
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import span
 from repro.sim.clock import Clock
 from repro.sim.events import EventHandle
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Trace
 from repro.util.rng import RngRegistry
 
+TRACE_ENV = "REPRO_TRACE"
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def _env_trace_default() -> bool:
+    return os.environ.get(TRACE_ENV, "").strip().lower() in _TRUTHY
+
 
 class Simulation:
     """Top-level container for one simulated run."""
 
-    def __init__(self, seed: int = 0, trace: bool = False):
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventSink] = None,
+    ):
         self.rngs = RngRegistry(seed)
         self.clock = Clock()
         self.scheduler = Scheduler(self.clock)
+        if trace is None:
+            trace = _env_trace_default()
         self.trace = Trace(enabled=trace)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventSink()
         self._entities: List[Any] = []
         self._started = False
 
@@ -60,20 +91,40 @@ class Simulation:
         if self._started:
             return
         self._started = True
-        for entity in list(self._entities):
-            if hasattr(entity, "start"):
-                entity.start(self)
+        with span(self, "sim.start_entities"):
+            for entity in list(self._entities):
+                if hasattr(entity, "start"):
+                    entity.start(self)
+        self.metrics.gauge_set("sim.entities", len(self._entities))
 
     def run(self, until: float) -> None:
         """Start entities (once) and run events up to time ``until``."""
         self._start_entities()
-        self.scheduler.run_until(until)
+        with span(self, "sim.run"):
+            self.scheduler.run_until(until)
+        self._snapshot_health()
 
     def run_all(self) -> int:
         """Start entities and drain every queued event."""
         self._start_entities()
-        return self.scheduler.run_all()
+        with span(self, "sim.run"):
+            fired = self.scheduler.run_all()
+        self._snapshot_health()
+        return fired
+
+    def _snapshot_health(self) -> None:
+        """Post-drive gauges: totals the artefact reader wants at a glance."""
+        self.metrics.gauge_set("sim.events_fired", self.scheduler.fired)
+        self.metrics.gauge_set("sim.time", self.now)
+        self.metrics.gauge_set("trace.records", len(self.trace))
+        self.metrics.gauge_set("trace.dropped", self.trace.dropped)
+        self.metrics.gauge_set("events.buffered", len(self.events))
+        self.metrics.gauge_set("events.dropped", self.events.dropped)
 
     def emit(self, kind: str, subject: str, detail: str = "") -> None:
         """Trace helper stamped with the current time."""
         self.trace.emit(self.now, kind, subject, detail)
+
+    def record_event(self, kind: str, **fields: Any) -> None:
+        """Structured-event helper stamped with the current time."""
+        self.events.emit(self.now, kind, **fields)

@@ -14,12 +14,14 @@ from repro.experiments.parallel import (
     RunSpec,
     derive_run_seeds,
     execute_spec,
+    merged_metrics,
     replicates,
     resolve_workers,
     run_specs,
 )
 from repro.experiments.runner import shared_wigle
 from repro.experiments.scenarios import ScenarioConfig
+from repro.obs.registry import validate_metrics_doc
 
 # A deliberately tiny deployment so the pooled tests stay fast.
 _QUICK = dict(duration=150.0, fidelity="burst")
@@ -168,6 +170,54 @@ class TestTimingsArtefact:
         monkeypatch.setenv("REPRO_TIMINGS", "0")
         run_specs(_quick_specs(n=1), workers=1, timings_name="timings_off")
         assert not (tmp_path / "timings_off.json").exists()
+
+
+def _strip_timers(snapshot):
+    """The deterministic sections of a snapshot (timers hold wall clock)."""
+    return {k: v for k, v in snapshot.items() if k != "timers"}
+
+
+class TestMetricsArtefact:
+    def test_merged_metrics_worker_count_invariant(self, tmp_path, monkeypatch):
+        # The acceptance bar for the observability layer: everything
+        # except wall-clock timers must be bit-identical between a
+        # serial and a pooled execution of the same batch.
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        specs = _quick_specs()
+        serial = merged_metrics(run_specs(specs, workers=1))
+        pooled = merged_metrics(run_specs(specs, workers=2))
+        assert _strip_timers(serial) == _strip_timers(pooled)
+        # Spot-check the signals the paper cares about survived the
+        # merge: per-provenance counters and the PB/FB series.
+        assert any(k.startswith("attacker.ssids_sent") for k in serial["counters"])
+        assert "hunter.pb_size" in serial["series"]
+        assert serial["counters"]["run.count"] == len(specs)
+
+    def test_artefact_written_and_schema_valid(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        results = run_specs(_quick_specs(n=2), workers=1,
+                            metrics_name="metrics_test")
+        doc = json.loads((tmp_path / "metrics_test.json").read_text())
+        validate_metrics_doc(doc)
+        assert doc["workers"] == 1
+        assert [run["tag"] for run in doc["runs"]] == ["quick:0", "quick:1"]
+        assert doc["merged"] == merged_metrics(results)
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        run_specs(_quick_specs(n=1), workers=1, metrics_name="metrics_off")
+        assert not (tmp_path / "metrics_off.json").exists()
+
+    def test_run_summary_carries_snapshot(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMINGS", "0")
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        result = execute_spec(
+            RunSpec(attacker="cityhunter", venue="canteen", seed=3, **_QUICK)
+        )
+        assert result.metrics is not None
+        assert result.metrics["counters"]["run.count"] == 1
+        assert any(e["kind"] == "span" for e in result.events)
 
 
 class TestSharedWigleImmutability:
