@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""CI chaos smoke: a small faulted batch with an injected worker crash.
+
+Exercises the whole robustness surface in one go:
+
+* every fault layer enabled (Gilbert–Elliott channel, attacker radio
+  outages, corrupted/missing WiGLE records) on two of four runs;
+* one spec scheduled to crash its first worker attempt, so the batch
+  must retry it and still return four RunSummary results;
+* a checkpoint artefact, so a second ``run_specs`` invocation must
+  resume every run from disk without re-executing anything;
+* fault counters asserted present in the merged ``metrics.json``.
+
+Run:  REPRO_WORKERS=4 python benchmarks/smoke_chaos.py
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import parallel  # noqa: E402
+from repro.experiments.parallel import (  # noqa: E402
+    RunSpec,
+    RunSummary,
+    derive_run_seeds,
+    run_specs,
+)
+from repro.faults.plan import (  # noqa: E402
+    FaultPlan,
+    GilbertElliottParams,
+    OutageParams,
+    WigleFaultParams,
+)
+from repro.obs.artifacts import artifact_path  # noqa: E402
+from repro.obs.registry import validate_metrics_doc  # noqa: E402
+
+CHAOS_PLAN = FaultPlan(
+    seed=11,
+    channel=GilbertElliottParams(p_bad=0.05, p_good=0.3, loss_bad=0.7),
+    outages=OutageParams(rate_per_hour=24.0, duration_mean_s=20.0),
+    wigle=WigleFaultParams(corrupt_fraction=0.1, missing_fraction=0.05),
+)
+CRASH_PLAN = FaultPlan(
+    seed=CHAOS_PLAN.seed,
+    channel=CHAOS_PLAN.channel,
+    outages=CHAOS_PLAN.outages,
+    wigle=CHAOS_PLAN.wigle,
+    worker_crashes=1,
+)
+
+
+def _specs():
+    seeds = derive_run_seeds(23, 4)
+    plans = [None, CHAOS_PLAN, CRASH_PLAN, None]
+    return [
+        RunSpec(
+            attacker="cityhunter",
+            venue="canteen",
+            seed=seed,
+            duration=300.0,
+            fidelity="burst",
+            tag=f"chaos:{i}",
+            faults=plan,
+        )
+        for i, (seed, plan) in enumerate(zip(seeds, plans))
+    ]
+
+
+def main() -> int:
+    specs = _specs()
+    results = run_specs(
+        specs, checkpoint_name="chaos_checkpoint", retry_backoff=0.05
+    )
+    assert len(results) == len(specs)
+    assert all(isinstance(r, RunSummary) for r in results), (
+        "chaos batch lost runs: "
+        + ", ".join(f"{r.spec.tag}={r.error}" for r in results if r.failed)
+    )
+    print(f"batch completed: {len(results)} runs "
+          f"(one injected worker crash absorbed)")
+
+    # Resume: a second invocation must restore every run from the
+    # checkpoint, bit-identically, without executing anything.
+    def _refuse(spec):
+        raise AssertionError(f"resume re-executed {spec.tag}")
+
+    real = parallel.execute_spec
+    parallel.execute_spec = _refuse
+    try:
+        resumed = run_specs(specs, checkpoint_name="chaos_checkpoint")
+    finally:
+        parallel.execute_spec = real
+    assert resumed == results, "resumed batch differs from original"
+    ckpt = artifact_path("chaos_checkpoint", suffix=".jsonl")
+    assert ckpt.exists(), f"missing checkpoint artefact: {ckpt}"
+    print(f"resume OK: {len(resumed)} runs restored from {ckpt}")
+
+    metrics = artifact_path("metrics")
+    assert metrics.exists(), f"missing metrics artefact: {metrics}"
+    doc = json.loads(metrics.read_text())
+    validate_metrics_doc(doc)
+    counters = doc["merged"]["counters"]
+    for prefix in (
+        "faults.frames_lost",
+        "faults.outages",
+        "faults.outage_downtime_s",
+        "faults.wigle_records_skipped",
+        "seeding.textgen_fallback",
+    ):
+        matching = {k: v for k, v in counters.items() if k.startswith(prefix)}
+        assert matching, f"no merged counter under {prefix!r}"
+        for key, value in sorted(matching.items()):
+            print(f"  {key} = {value:g}")
+
+    outage_events = [
+        e
+        for run in doc["runs"]
+        for e in run["events"]
+        if e.get("kind") == "fault.outage"
+    ]
+    assert outage_events, "no fault.outage events retained"
+    print(f"  fault.outage events retained: {len(outage_events)}")
+
+    # The fault-free runs must not have paid for any of it: their
+    # snapshots carry no fault counters at all.
+    for run in doc["runs"]:
+        if run["tag"] in ("chaos:0", "chaos:3"):
+            assert not any(
+                k.startswith("faults.") for k in run["metrics"]["counters"]
+            ), f"fault counters leaked into fault-free run {run['tag']}"
+    print("fault-free runs stayed clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.dot11.frames import (
 from repro.dot11.mac import MacAddress
 from repro.dot11.medium import Medium
 from repro.dot11.timing import DEFAULT_SCAN_TIMING, ScanTiming
+from repro.faults.outages import OutageSchedule
 from repro.geo.point import Point
 from repro.obs.registry import MetricsRegistry
 from repro.sim.simulation import Simulation
@@ -69,6 +70,7 @@ class RogueAp:
         self.tx_range = tx_range
         self.channel = validate_channel(channel)
         self.sim: Optional[Simulation] = None
+        self.outages: Optional[OutageSchedule] = None
 
     # -- Station protocol ------------------------------------------------------
 
@@ -80,6 +82,30 @@ class RogueAp:
         """Entity hook: attach to the medium."""
         self.sim = sim
         self.medium.attach(self, self.tx_range)
+        if self.outages is not None and len(self.outages):
+            sim.metrics.inc("faults.outages", len(self.outages))
+            sim.metrics.inc(
+                "faults.outage_downtime_s", self.outages.total_downtime
+            )
+            for window in self.outages.windows:
+                sim.record_event(
+                    "fault.outage", start=window.start, end=window.end
+                )
+
+    def install_outages(self, schedule: OutageSchedule) -> None:
+        """Adopt a radio-outage schedule (scenario builder hook).
+
+        While a window is active the NIC is dead: :meth:`receive` drops
+        every frame, so no responses go out and — crucially — no SSIDs
+        are marked tried on any per-client untried list.  City-Hunter
+        degrades gracefully instead of burning candidates into a NIC
+        that cannot answer.
+        """
+        self.outages = schedule
+
+    def radio_down(self, time: float) -> bool:
+        """Whether an injected outage has the radio dead right now."""
+        return self.outages is not None and self.outages.down_at(time)
 
     @property
     def metrics(self) -> Optional[MetricsRegistry]:
@@ -113,6 +139,13 @@ class RogueAp:
     def receive(self, frame: Frame, time: float) -> None:
         """Dispatch one received frame."""
         metrics = self.metrics
+        if self.radio_down(time):
+            if metrics is not None:
+                metrics.inc(
+                    "faults.outage_frames_dropped",
+                    frame=type(frame).__name__,
+                )
+            return
         if isinstance(frame, ProbeRequest):
             if frame.channel != self.channel:
                 return  # probing a channel we are not camped on

@@ -42,18 +42,32 @@ def _positive_duration(value: str) -> float:
 _positive_duration.__name__ = "duration"
 
 
+def _load_fault_plan(path: Optional[str]):
+    if not path:
+        return None
+    import json
+
+    from repro.faults.plan import FaultPlan
+
+    with open(path) as f:
+        doc = json.load(f)
+    return FaultPlan.from_dict(doc)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     city = default_city(args.city_seed)
     wigle = shared_wigle(args.city_seed)
     profile = venue_profile(args.venue)
+    faults = _load_fault_plan(args.fault_plan)
     result = run_experiment(
         city,
         wigle,
-        make_attacker(args.attacker, city, wigle),
+        make_attacker(args.attacker, city, wigle, faults=faults),
         profile,
         duration=args.duration,
         seed=args.seed,
         fidelity=args.fidelity,
+        faults=faults,
     )
     print(
         render_table(
@@ -181,7 +195,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         counters = merged["counters"]
         for key in ("attacker.probes", "attacker.responses_sent",
                     "hunter.pbfb_swaps", "deauth.cycles",
-                    "phone.deauth_rescans"):
+                    "phone.deauth_rescans", "faults.",
+                    "seeding.textgen_fallback"):
             named = {
                 k: v for k, v in counters.items() if k.startswith(key)
             }
@@ -247,6 +262,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--fidelity", choices=("frame", "burst"), default="frame")
     run.add_argument("--city-seed", type=int, default=42)
+    run.add_argument("--fault-plan",
+                     help="JSON fault plan (FaultPlan.to_dict schema) to "
+                          "inject channel/outage/WiGLE faults")
     run.add_argument("--csv", help="write per-client records to this file")
     run.add_argument("--json", help="write the summary document to this file")
     run.set_defaults(func=_cmd_run)

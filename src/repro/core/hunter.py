@@ -17,10 +17,11 @@ from repro.attacks.base import RogueAp
 from repro.city.heatmap import HeatMap
 from repro.core.adaptive import AdaptiveSplit
 from repro.core.config import CityHunterConfig
-from repro.core.seeding import seed_database
+from repro.core.seeding import SeedingStats, seed_database
 from repro.core.selection import select_for_client
 from repro.core.ssid_database import WeightedSsidDatabase
 from repro.dot11.mac import MacAddress
+from repro.faults.plan import WigleFaultParams
 from repro.sim.simulation import Simulation
 from repro.wigle.database import WigleDatabase
 
@@ -39,12 +40,22 @@ class CityHunter(RogueAp):
         heatmap: Optional[HeatMap],
         config: Optional[CityHunterConfig] = None,
         use_heat: bool = True,
+        wigle_faults: Optional[WigleFaultParams] = None,
+        wigle_fault_seed: int = 0,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
         self.config = config if config is not None else CityHunterConfig()
+        self.seeding_stats = SeedingStats()
         self.db: WeightedSsidDatabase = seed_database(
-            wigle, heatmap, self.position, self.config, use_heat=use_heat
+            wigle,
+            heatmap,
+            self.position,
+            self.config,
+            use_heat=use_heat,
+            faults=wigle_faults,
+            fault_seed=wigle_fault_seed,
+            stats=self.seeding_stats,
         )
         self.split = AdaptiveSplit(
             total=self.config.burst_total,
@@ -61,6 +72,29 @@ class CityHunter(RogueAp):
         self._rng = sim.rngs.stream("cityhunter")
         self.session.record_db_size(sim.now, len(self.db))
         self._record_split(sim.now)
+        stats = self.seeding_stats
+        if stats.total_skipped:
+            if stats.skipped_corrupt:
+                sim.metrics.inc(
+                    "faults.wigle_records_skipped",
+                    stats.skipped_corrupt,
+                    kind="corrupt",
+                )
+            if stats.skipped_missing:
+                sim.metrics.inc(
+                    "faults.wigle_records_skipped",
+                    stats.skipped_missing,
+                    kind="missing",
+                )
+            sim.metrics.inc(
+                "seeding.textgen_fallback", stats.textgen_fallback
+            )
+            sim.record_event(
+                "fault.wigle_seed",
+                skipped_corrupt=stats.skipped_corrupt,
+                skipped_missing=stats.skipped_missing,
+                textgen_fallback=stats.textgen_fallback,
+            )
 
     def provenance_of(self, ssid: str, origin) -> str:
         """Refine ``wigle`` into near/heat via the entry's seed class."""

@@ -8,19 +8,53 @@ heat over each SSID's APs) to assign rank-order ratio weights 200…1
 database even when they sit in a photogenic mall.  The ``n_nearby``
 free SSIDs nearest the attack site get weights 100…1 by distance rank.
 SSIDs appearing in both lists keep the stronger weight.
+
+Fault injection: a :class:`~repro.faults.plan.WigleFaultParams` marks a
+deterministic subset of SSIDs as corrupted or missing in the export.
+Seeding skips those records (counting each skip into ``stats``) and
+backfills the shortfall so the database keeps its designed size — first
+from the configured carrier SSIDs (always added anyway), then from
+deterministic textgen SSIDs at tail weight.  Plausible-but-unlisted
+names are exactly what a field operator would type in by hand when the
+registry lets them down.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
 
 from repro.city.heatmap import HeatMap
 from repro.core.config import CityHunterConfig
 from repro.core.ssid_database import WeightedSsidDatabase
 from repro.core.weights import rank_order_weights
+from repro.faults.plan import WigleFaultParams
+from repro.faults.wigle import ssid_fault_kind
 from repro.geo.point import Point
+from repro.util.rng import derive_seed
+from repro.util.textgen import shop_ssid, unique_names
 from repro.wigle.database import WigleDatabase
 from repro.wigle.queries import ssid_heat_values, top_ssids_by_count
+
+TEXTGEN_FALLBACK_WEIGHT = 1.0
+"""Weight of backfilled textgen SSIDs — tail entries that must earn
+promotion through hits like any other unproven candidate."""
+
+
+@dataclass
+class SeedingStats:
+    """What fault injection did to one database initialisation."""
+
+    skipped_corrupt: int = 0
+    skipped_missing: int = 0
+    textgen_fallback: int = 0
+    skipped_ssids: List[str] = field(default_factory=list)
+
+    @property
+    def total_skipped(self) -> int:
+        return self.skipped_corrupt + self.skipped_missing
 
 
 def seed_database(
@@ -29,15 +63,40 @@ def seed_database(
     position: Point,
     config: CityHunterConfig = CityHunterConfig(),
     use_heat: bool = True,
+    faults: Optional[WigleFaultParams] = None,
+    fault_seed: int = 0,
+    stats: Optional[SeedingStats] = None,
 ) -> WeightedSsidDatabase:
     """Build the initial database for an attacker at ``position``.
 
     ``use_heat=False`` is the ablation that ranks the city-wide SSIDs by
     plain AP count instead of heat value (Table IV, left column) —
     the comparison the paper uses to motivate the heat map.
+
+    ``faults`` (with its ``fault_seed`` salt) injects corrupted/missing
+    WiGLE records; ``stats``, when supplied, receives the skip and
+    backfill counts so the caller can publish them as metrics.
     """
+    if stats is None:
+        stats = SeedingStats()
+
+    def usable(ssid: str) -> bool:
+        kind = ssid_fault_kind(faults, fault_seed, ssid)
+        if kind is None:
+            return True
+        if kind == "corrupt":
+            stats.skipped_corrupt += 1
+        else:
+            stats.skipped_missing += 1
+        stats.skipped_ssids.append(ssid)
+        return False
+
     db = WeightedSsidDatabase()
-    by_count = [s for s, _ in top_ssids_by_count(wigle, config.n_popular)]
+    by_count = [
+        s
+        for s, _ in top_ssids_by_count(wigle, config.n_popular)
+        if usable(s)
+    ]
     if use_heat:
         if heatmap is None:
             raise ValueError("heat ranking requested but no heat map given")
@@ -48,10 +107,43 @@ def seed_database(
     for ssid, weight in zip(popular, rank_order_weights(len(popular))):
         db.add(ssid, weight, origin="wigle", seed_class="wigle-heat")
 
-    nearby = wigle.nearest_free_ssids(position, config.n_nearby)
+    nearby = [
+        s
+        for s in wigle.nearest_free_ssids(position, config.n_nearby)
+        if usable(s)
+    ]
     for ssid, weight in zip(nearby, rank_order_weights(len(nearby))):
         db.add(ssid, weight, origin="wigle", seed_class="wigle-near")
 
     for ssid in config.carrier_ssids:
         db.add(ssid, config.carrier_weight, origin="carrier")
+
+    shortfall = stats.total_skipped
+    if shortfall > 0:
+        _backfill_textgen(db, shortfall, fault_seed, stats)
     return db
+
+
+def _backfill_textgen(
+    db: WeightedSsidDatabase,
+    count: int,
+    fault_seed: int,
+    stats: SeedingStats,
+) -> None:
+    """Pad ``count`` deterministic textgen SSIDs onto the database tail."""
+    rng = np.random.default_rng(derive_seed(fault_seed, "seeding:textgen"))
+    # Over-draw so collisions with already-seeded names still leave
+    # enough fresh candidates to cover the shortfall.
+    for ssid in unique_names(count * 2, shop_ssid, rng):
+        if count == 0:
+            break
+        if ssid in db:
+            continue
+        db.add(
+            ssid,
+            TEXTGEN_FALLBACK_WEIGHT,
+            origin="textgen",
+            seed_class="textgen-fallback",
+        )
+        stats.textgen_fallback += 1
+        count -= 1

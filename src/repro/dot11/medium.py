@@ -14,6 +14,16 @@ Two fidelity modes share all delivery logic:
   receiver applies the same window arithmetic analytically (used by the
   12-hour Fig. 5 sweeps).  An integration test pins the two modes to
   identical hit counts.
+
+Loss comes in two independent flavours.  The uniform ``loss_rate``
+drops each frame as an independent coin flip (``1.0`` is a total
+blackout).  ``burst_loss`` additionally runs a
+:class:`~repro.faults.gilbert.GilbertElliottChannel` whose losses
+cluster the way real channel contention clusters them; it draws from a
+dedicated ``faults.channel`` RNG stream and counts every drop under the
+``faults.frames_lost`` metric, so enabling it never perturbs the
+uniform channel's draws and a run without it is byte-identical to one
+built before bursty loss existed.
 """
 
 from __future__ import annotations
@@ -23,6 +33,8 @@ from typing import Dict, List, Optional, Protocol, Sequence
 from repro.dot11.frames import Frame, ProbeResponse
 from repro.dot11.mac import BROADCAST_MAC, MacAddress
 from repro.dot11.propagation import DiscPropagation, Propagation
+from repro.faults.gilbert import GilbertElliottChannel
+from repro.faults.plan import GilbertElliottParams
 from repro.geo.point import Point
 from repro.sim.simulation import Simulation
 from repro.util.units import MANAGEMENT_FRAME_AIRTIME_S, PROBE_RESPONSE_AIRTIME_S
@@ -51,11 +63,12 @@ class Medium:
         fidelity: str = "frame",
         loss_rate: float = 0.0,
         propagation: Optional[Propagation] = None,
+        burst_loss: Optional[GilbertElliottParams] = None,
     ):
         if fidelity not in ("frame", "burst"):
             raise ValueError("fidelity must be 'frame' or 'burst', got %r" % fidelity)
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1), got %r" % loss_rate)
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1], got %r" % loss_rate)
         self.sim = sim
         self.fidelity = fidelity
         self.loss_rate = loss_rate
@@ -65,6 +78,17 @@ class Medium:
         self._monitors: Dict[MacAddress, Station] = {}
         self._rng = sim.rngs.stream("medium")
         self.frames_delivered = 0
+        self.fault_frames_lost = 0
+        self._burst_loss: Optional[GilbertElliottChannel] = None
+        if burst_loss is not None:
+            self._burst_loss = GilbertElliottChannel(
+                burst_loss, sim.rngs.stream("faults.channel")
+            )
+
+    @property
+    def burst_loss(self) -> Optional[GilbertElliottChannel]:
+        """The live Gilbert–Elliott chain (None without channel faults)."""
+        return self._burst_loss
 
     # -- membership -------------------------------------------------------
 
@@ -108,7 +132,17 @@ class Medium:
         )
         return self.propagation.delivered(distance, reach, self._rng)
 
+    def _fault_lost(self) -> bool:
+        """One Gilbert–Elliott step; counts the drop when it happens."""
+        if self._burst_loss is None or not self._burst_loss.lost():
+            return False
+        self.fault_frames_lost += 1
+        self.sim.metrics.inc("faults.frames_lost", model="gilbert-elliott")
+        return True
+
     def _lost(self) -> bool:
+        if self._fault_lost():
+            return True
         return self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
 
     def _recipients(self, sender: Station, frame: Frame, time: float) -> List[Station]:
@@ -195,6 +229,13 @@ class Medium:
         target: Optional[Station] = self._stations.get(first.dst)
         if target is None or not self._in_range(sender, target, now):
             return
+        if self._burst_loss is not None:
+            # One chain step per response keeps frame and burst fidelity
+            # statistically aligned under channel faults (monitors, like
+            # the uniform channel in this path, observe pre-loss).
+            responses = [r for r in responses if not self._fault_lost()]
+            if not responses:
+                return
         receive_burst = getattr(target, "receive_burst", None)
         if receive_burst is not None:
             self.frames_delivered += len(responses)

@@ -20,6 +20,7 @@ from repro.city.heatmap import HeatMap
 from repro.core.config import CityHunterConfig
 from repro.core.hunter import CityHunter
 from repro.dot11.mac import random_ap_mac
+from repro.faults.plan import FaultPlan
 from repro.wigle.database import WigleDatabase
 
 AttackerFactory = Callable
@@ -63,8 +64,14 @@ def make_cityhunter(
     heatmap: Optional[HeatMap],
     config: Optional[CityHunterConfig] = None,
     use_heat: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> AttackerFactory:
-    """The advanced Section IV attacker."""
+    """The advanced Section IV attacker.
+
+    ``faults`` only contributes its WiGLE-corruption half here (salted
+    by the plan seed); channel and outage faults are applied by the
+    scenario builder, which owns the medium and the simulation.
+    """
 
     def factory(sim, medium, venue):
         return CityHunter(
@@ -75,6 +82,8 @@ def make_cityhunter(
             heatmap=heatmap,
             config=config,
             use_heat=use_heat,
+            wigle_faults=faults.wigle if faults is not None else None,
+            wigle_fault_seed=faults.seed if faults is not None else 0,
         )
 
     return factory
@@ -90,12 +99,13 @@ def make_attacker(
     wigle: WigleDatabase,
     config: Optional[CityHunterConfig] = None,
     use_heat: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> AttackerFactory:
     """Build a factory from a registry name.
 
-    ``config`` and ``use_heat`` only apply to the advanced attacker;
-    they are ignored (not rejected) for the baselines so one call site
-    can drive every attacker uniformly.
+    ``config``, ``use_heat`` and ``faults`` only apply to the advanced
+    attacker; they are ignored (not rejected) for the baselines so one
+    call site can drive every attacker uniformly.
     """
     if name == "karma":
         return make_karma()
@@ -104,7 +114,13 @@ def make_attacker(
     if name == "cityhunter-basic":
         return make_cityhunter_basic(wigle)
     if name == "cityhunter":
-        return make_cityhunter(wigle, city.heatmap, config=config, use_heat=use_heat)
+        return make_cityhunter(
+            wigle,
+            city.heatmap,
+            config=config,
+            use_heat=use_heat,
+            faults=faults,
+        )
     raise ValueError(
         "unknown attacker %r (have: %s)" % (name, ", ".join(ATTACKER_NAMES))
     )

@@ -1,10 +1,11 @@
-"""Parallel experiment execution with deterministic seeding.
+"""Parallel experiment execution with deterministic seeding and
+fault-tolerant, resumable batches.
 
 Every paper artefact is a batch of *independent* deployments — Fig. 5/6
 alone is 48 hourly runs — so the executor here fans a list of picklable
 :class:`RunSpec` descriptions out over a ``ProcessPoolExecutor`` and
-returns ordered :class:`RunSummary` results.  Three properties make the
-fan-out exact rather than merely fast:
+returns ordered results.  Three properties make the fan-out exact
+rather than merely fast:
 
 * **Specs, not closures.**  A spec names its attacker (resolved through
   the :mod:`~repro.experiments.attackers` registry inside the worker)
@@ -18,6 +19,25 @@ fan-out exact rather than merely fast:
   ``derive_seed(master_seed, "run:i")`` (:func:`derive_run_seeds`),
   which is platform-stable SHA-256 fan-out — parallel and serial
   execution produce bit-identical results.
+
+Resilience (the properties a 48-run batch on real hardware needs):
+
+* **Worker death is retried, not fatal.**  A crashed worker
+  (``BrokenProcessPool`` — OOM kill, segfault, injected chaos) rebuilds
+  the pool and resubmits the unfinished specs with capped exponential
+  backoff (``REPRO_RETRIES`` / ``REPRO_RETRY_BACKOFF_S``).  The retry
+  reuses the *same* spec and therefore the same derived seed, so a
+  retried run is bit-identical to one that never crashed.
+* **Failures become placeholders.**  A spec that keeps failing (or
+  raises, or exceeds the per-spec ``REPRO_SPEC_TIMEOUT_S``) yields a
+  :class:`FailedRun` in its slot instead of aborting the batch; every
+  surviving run is still returned, bit-identical to a fault-free
+  execution of those specs.
+* **Completed runs are checkpointed.**  With checkpointing enabled
+  (``REPRO_CHECKPOINT`` or ``checkpoint_name=``), every finished run is
+  appended to a JSONL artefact keyed by :func:`spec_digest`; a
+  re-invocation of :func:`run_specs` restores those runs without
+  re-executing them and only runs what is missing.
 
 Worker count comes from the ``REPRO_WORKERS`` environment variable
 (default ``os.cpu_count()``); ``REPRO_WORKERS=1`` is an exact serial
@@ -38,13 +58,17 @@ and any pooled width.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 import pathlib
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.breakdown import (
     BufferBreakdown,
@@ -57,12 +81,18 @@ from repro.experiments.attackers import ATTACKER_NAMES, make_attacker
 from repro.experiments.calibration import default_city, venue_profile
 from repro.experiments.runner import run_experiment, shared_wigle
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.faults.chaos import InjectedWorkerCrash, mark_pool_worker, maybe_crash
+from repro.faults.plan import FaultPlan
 from repro.obs.artifacts import (
     LEGACY_TIMINGS_DIR_ENV,
     artifact_path,
     ensure_artifact_dir,
 )
-from repro.obs.registry import METRICS_SCHEMA, merge_snapshots
+from repro.obs.registry import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from repro.population.groups import GroupModel
 from repro.population.pnl import PnlModel
 from repro.util.rng import derive_seed
@@ -71,6 +101,25 @@ WORKERS_ENV = "REPRO_WORKERS"
 TIMINGS_ENV = "REPRO_TIMINGS"
 METRICS_ENV = "REPRO_METRICS"
 TIMINGS_DIR_ENV = LEGACY_TIMINGS_DIR_ENV  # re-export for compatibility
+
+RETRIES_ENV = "REPRO_RETRIES"
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF_S"
+TIMEOUT_ENV = "REPRO_SPEC_TIMEOUT_S"
+CHECKPOINT_ENV = "REPRO_CHECKPOINT"
+
+DEFAULT_RETRIES = 2
+"""Extra attempts a spec gets after its worker dies (attempts = 1 + N)."""
+
+DEFAULT_BACKOFF_S = 0.5
+"""Base of the exponential backoff between pool rebuilds."""
+
+BACKOFF_CAP_S = 30.0
+"""Ceiling on any single backoff sleep."""
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
+
+_FALSEY = ("", "0", "false", "off", "no")
+_TRUTHY = ("1", "true", "on", "yes")
 
 
 @dataclass(frozen=True)
@@ -104,6 +153,9 @@ class RunSpec:
     city_seed: int = 42
     tag: str = ""
     """Free-form label echoed into results and the timings artefact."""
+
+    faults: Optional[FaultPlan] = None
+    """Deterministic fault plan for this run (None injects nothing)."""
 
     def __post_init__(self) -> None:
         if self.attacker not in ATTACKER_NAMES:
@@ -139,6 +191,16 @@ class RunSummary:
     events: Tuple[dict, ...] = field(default=())
     """The run's retained structured events (capped ring buffer)."""
 
+    cache_wall_time: float = 0.0
+    """Wall seconds this process spent building (or fetching) the
+    city/WiGLE caches before the run — kept out of ``wall_time`` so a
+    cold-cache worker does not report an inflated run wall."""
+
+    @property
+    def failed(self) -> bool:
+        """False: this slot holds a completed run (cf. FailedRun)."""
+        return False
+
     @property
     def h(self) -> float:
         """Overall hit rate."""
@@ -148,6 +210,30 @@ class RunSummary:
     def h_b(self) -> float:
         """Broadcast hit rate."""
         return self.summary.broadcast_hit_rate
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Placeholder filling the result slot of a spec that never finished.
+
+    Carrying the spec, the failure kind (``worker-crash`` / ``timeout``
+    / ``exception``) and the attempt count means a batch survives
+    partial failure: callers filter on ``failed`` and still get every
+    surviving :class:`RunSummary` bit-identical to a fault-free batch.
+    """
+
+    spec: RunSpec
+    error: str
+    kind: str
+    attempts: int
+
+    @property
+    def failed(self) -> bool:
+        """True: this slot's spec produced no RunSummary."""
+        return True
+
+
+RunResult = Union[RunSummary, FailedRun]
 
 
 def derive_run_seeds(master_seed: int, count: int) -> List[int]:
@@ -205,6 +291,205 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+def _resolve_int_env(env: str, default: int, minimum: int) -> int:
+    value = os.environ.get(env, "").strip()
+    if not value:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError("%s must be an integer, got %r" % (env, value)) from None
+    if parsed < minimum:
+        raise ValueError("%s must be >= %d, got %r" % (env, minimum, parsed))
+    return parsed
+
+
+def _resolve_float_env(env: str, default: float) -> float:
+    value = os.environ.get(env, "").strip()
+    if not value:
+        return default
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ValueError("%s must be a number, got %r" % (env, value)) from None
+    if parsed < 0:
+        raise ValueError("%s must be >= 0, got %r" % (env, parsed))
+    return parsed
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Retry budget per spec on worker death (``REPRO_RETRIES``)."""
+    if retries is not None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %r" % retries)
+        return retries
+    return _resolve_int_env(RETRIES_ENV, DEFAULT_RETRIES, 0)
+
+
+def resolve_backoff(backoff: Optional[float] = None) -> float:
+    """Backoff base seconds between retries (``REPRO_RETRY_BACKOFF_S``)."""
+    if backoff is not None:
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0, got %r" % backoff)
+        return backoff
+    return _resolve_float_env(BACKOFF_ENV, DEFAULT_BACKOFF_S)
+
+
+def resolve_spec_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Per-spec wall timeout (``REPRO_SPEC_TIMEOUT_S``; 0/unset = off).
+
+    Only enforced on pooled execution: the serial path cannot preempt a
+    run in its own process.
+    """
+    if timeout is None:
+        timeout = _resolve_float_env(TIMEOUT_ENV, 0.0)
+    if timeout < 0:
+        raise ValueError("spec timeout must be >= 0, got %r" % timeout)
+    return timeout if timeout > 0 else None
+
+
+def resolve_checkpoint_name(name: Optional[str] = None) -> Optional[str]:
+    """Checkpoint artefact name: argument, else ``REPRO_CHECKPOINT``.
+
+    The environment variable accepts ``0/false/off`` (disabled, the
+    default), ``1/true/on`` (enabled under the default ``checkpoint``
+    name) or any other string, which is used as the artefact name
+    itself.
+    """
+    if name is not None:
+        return name or None
+    env = os.environ.get(CHECKPOINT_ENV, "").strip()
+    if env.lower() in _FALSEY:
+        return None
+    if env.lower() in _TRUTHY:
+        return "checkpoint"
+    return env
+
+
+def _backoff_sleep(round_index: int, base: float) -> None:
+    if base > 0:
+        time.sleep(min(BACKOFF_CAP_S, base * (2.0 ** round_index)))
+
+
+# -- spec digests and checkpointing ---------------------------------------
+
+
+def spec_digest(spec: RunSpec) -> str:
+    """Stable content digest of one spec.
+
+    Every field of a spec (and of its nested configs) is a frozen
+    dataclass of plain values, so ``repr`` is a canonical, platform
+    stable serialisation; SHA-256 over it keys the checkpoint.  Any
+    change to any field — seed, venue, fault plan, attacker config —
+    changes the digest and forces a re-run.
+    """
+    return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()
+
+
+def _summary_to_doc(result: RunSummary) -> dict:
+    """JSON-serialisable form of a RunSummary, minus its spec.
+
+    The spec is represented by the checkpoint key (its digest), so
+    restoration reattaches the caller's own spec object and the
+    round-trip is exact: every summary field survives JSON untouched
+    (ints stay ints, floats round-trip by repr).
+    """
+    return {
+        "summary": dataclasses.asdict(result.summary),
+        "source": dataclasses.asdict(result.source),
+        "buffers": dataclasses.asdict(result.buffers),
+        "people_spawned": result.people_spawned,
+        "duration": result.duration,
+        "wall_time": result.wall_time,
+        "cache_wall_time": result.cache_wall_time,
+        "metrics": result.metrics,
+        "events": list(result.events),
+    }
+
+
+def _summary_from_doc(spec: RunSpec, doc: dict) -> RunSummary:
+    """Inverse of :meth:`_summary_to_doc` for a known spec."""
+    return RunSummary(
+        spec=spec,
+        summary=SessionSummary(**doc["summary"]),
+        source=SourceBreakdown(**doc["source"]),
+        buffers=BufferBreakdown(**doc["buffers"]),
+        people_spawned=doc["people_spawned"],
+        duration=doc["duration"],
+        wall_time=doc["wall_time"],
+        metrics=doc.get("metrics"),
+        events=tuple(doc.get("events", ())),
+        cache_wall_time=doc.get("cache_wall_time", 0.0),
+    )
+
+
+class RunCheckpoint:
+    """Incremental JSONL checkpoint of completed runs, keyed by digest.
+
+    One line per completed run, appended the moment the run finishes —
+    so a batch killed mid-flight (power, OOM, ctrl-C) resumes from its
+    last completed spec.  Loading tolerates a truncated final line
+    (the signature of dying mid-append) by skipping it.
+    """
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+        self._done: Dict[str, dict] = {}
+        self.restored = 0
+        """Runs served from this checkpoint by the current invocation."""
+
+        if self.path.exists():
+            for line in self.path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # truncated mid-append; the spec just re-runs
+                if record.get("schema") != CHECKPOINT_SCHEMA:
+                    continue
+                self._done[record["digest"]] = record["result"]
+
+    @classmethod
+    def open(cls, name: str) -> "RunCheckpoint":
+        """The checkpoint artefact ``<name>.jsonl`` in the artifact dir."""
+        return cls(artifact_path(name, suffix=".jsonl"))
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def get(self, digest: str, spec: RunSpec) -> Optional[RunSummary]:
+        """Restore the completed run for ``digest`` (None if absent)."""
+        doc = self._done.get(digest)
+        if doc is None:
+            return None
+        self.restored += 1
+        return _summary_from_doc(spec, doc)
+
+    def record(self, digest: str, result: RunSummary) -> None:
+        """Append one completed run (idempotent per digest)."""
+        if digest in self._done:
+            return
+        doc = _summary_to_doc(result)
+        self._done[digest] = doc
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "digest": digest,
+                "tag": result.spec.tag,
+                "result": doc,
+            },
+            sort_keys=True,
+        )
+        with self.path.open("a") as f:
+            f.write(line + "\n")
+
+
+# -- single-run execution --------------------------------------------------
+
+
 def execute_spec(spec: RunSpec) -> RunSummary:
     """Run one spec in the current process and summarise it.
 
@@ -212,21 +497,26 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     ``run_specs`` with one worker calls it inline, which is what makes
     the ``REPRO_WORKERS=1`` fallback *exact* rather than approximate.
     """
+    cache_start = time.perf_counter()
     city = default_city(spec.city_seed)
     wigle = shared_wigle(spec.city_seed)
+    cache_wall = time.perf_counter() - cache_start
     factory = make_attacker(
         spec.attacker, city, wigle, config=spec.attacker_config,
-        use_heat=spec.use_heat,
+        use_heat=spec.use_heat, faults=spec.faults,
     )
     start = time.perf_counter()
     if spec.scenario is not None:
-        build = build_scenario(city, wigle, spec.scenario, factory)
-        build.sim.run(spec.scenario.duration + spec.run_extra)
+        scenario = spec.scenario
+        if spec.faults is not None and scenario.faults is None:
+            scenario = replace(scenario, faults=spec.faults)
+        build = build_scenario(city, wigle, scenario, factory)
+        build.sim.run(scenario.duration + spec.run_extra)
         sim = build.sim
         session = build.attacker.session
         summary = summarize(session)
         people = build.arrivals.people_spawned
-        duration = spec.scenario.duration
+        duration = scenario.duration
     else:
         result = run_experiment(
             city,
@@ -241,6 +531,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             group_probs=spec.group_probs,
             pnl_model=spec.pnl_model,
             group_model=spec.group_model,
+            faults=spec.faults,
         )
         sim = result.attacker.sim
         session = result.session
@@ -252,6 +543,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     sim.metrics.inc("run.people_spawned", people)
     sim.metrics.inc("run.sim_duration_s", duration)
     sim.metrics.timer_add("run.wall", wall)
+    sim.metrics.timer_add("run.cache_build", cache_wall)
     source, buffers = breakdown_hits(session)
     return RunSummary(
         spec=spec,
@@ -263,7 +555,18 @@ def execute_spec(spec: RunSpec) -> RunSummary:
         wall_time=wall,
         metrics=sim.metrics.to_dict(),
         events=tuple(sim.events),
+        cache_wall_time=cache_wall,
     )
+
+
+def _pool_entry(task: Tuple[RunSpec, int]) -> RunSummary:
+    """Worker-side wrapper: chaos hook first, then the real run."""
+    spec, attempt = task
+    maybe_crash(spec.faults, attempt)
+    return execute_spec(spec)
+
+
+# -- batch execution -------------------------------------------------------
 
 
 def run_specs(
@@ -271,7 +574,11 @@ def run_specs(
     workers: Optional[int] = None,
     timings_name: str = "timings",
     metrics_name: str = "metrics",
-) -> List[RunSummary]:
+    checkpoint_name: Optional[str] = None,
+    retries: Optional[int] = None,
+    spec_timeout: Optional[float] = None,
+    retry_backoff: Optional[float] = None,
+) -> List[RunResult]:
     """Execute every spec and return results in spec order.
 
     ``workers`` falls back to ``REPRO_WORKERS`` / ``os.cpu_count()``;
@@ -279,23 +586,250 @@ def run_specs(
     bit-identical across worker counts because each run derives all of
     its randomness from its own spec and touches only immutable shared
     state.  Timings and metrics artefacts are written after every
-    invocation (``REPRO_TIMINGS=0`` / ``REPRO_METRICS=0`` disable).
+    non-empty invocation (``REPRO_TIMINGS=0`` / ``REPRO_METRICS=0``
+    disable).
+
+    Worker death retries the unfinished specs (same spec, same derived
+    seed — bit-identical on success) up to ``retries`` extra attempts
+    with capped exponential backoff; a spec that stays dead, raises, or
+    exceeds ``spec_timeout`` yields a :class:`FailedRun` placeholder in
+    its slot instead of aborting the batch.  With a checkpoint enabled
+    (``checkpoint_name`` / ``REPRO_CHECKPOINT``), completed runs are
+    restored on re-invocation instead of re-executed.
     """
     specs = list(specs)
+    if not specs:
+        return []  # nothing ran: leave no empty timings/metrics artefacts
     requested = resolve_workers(workers)
-    used = max(1, min(requested, len(specs)))
+    retries = resolve_retries(retries)
+    backoff = resolve_backoff(retry_backoff)
+    timeout = resolve_spec_timeout(spec_timeout)
+    ckpt_name = resolve_checkpoint_name(checkpoint_name)
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    checkpoint: Optional[RunCheckpoint] = None
+    if ckpt_name:
+        checkpoint = RunCheckpoint.open(ckpt_name)
+        for i, spec in enumerate(specs):
+            results[i] = checkpoint.get(spec_digest(spec), spec)
+
+    todo = [i for i, r in enumerate(results) if r is None]
+    used = max(1, min(requested, len(todo))) if todo else 1
+
+    cache_start = time.perf_counter()
+    if todo:
+        _prewarm([specs[i] for i in todo])
+    cache_wall = time.perf_counter() - cache_start
+
+    def _complete(index: int, result: RunResult) -> None:
+        results[index] = result
+        if checkpoint is not None and isinstance(result, RunSummary):
+            checkpoint.record(spec_digest(result.spec), result)
+
     start = time.perf_counter()
-    if used == 1:
-        results = [execute_spec(spec) for spec in specs]
-    else:
-        _prewarm(specs)
-        with ProcessPoolExecutor(max_workers=used) as pool:
-            results = list(pool.map(execute_spec, specs))
+    if todo:
+        if used == 1:
+            _run_serial(specs, todo, retries, backoff, _complete)
+        else:
+            _run_pooled(
+                specs, todo, used, retries, backoff, timeout, _complete
+            )
     total_wall = time.perf_counter() - start
-    write_timings(results, workers=used, total_wall=total_wall,
-                  name=timings_name)
-    write_metrics(results, workers=used, name=metrics_name)
-    return results
+
+    final: List[RunResult] = [r for r in results if r is not None]
+    assert len(final) == len(specs)
+    write_timings(final, workers=used, total_wall=total_wall,
+                  name=timings_name, cache_build=cache_wall)
+    write_metrics(final, workers=used, name=metrics_name)
+    return final
+
+
+def _run_serial(
+    specs: Sequence[RunSpec],
+    todo: Sequence[int],
+    retries: int,
+    backoff: float,
+    complete,
+) -> None:
+    """Inline execution with the same retry/placeholder contract.
+
+    Injected worker crashes surface as :class:`InjectedWorkerCrash`
+    here (hard-exiting would take the caller down too); any other
+    exception is deterministic for a fixed spec, so it becomes a
+    :class:`FailedRun` immediately rather than being retried.
+    """
+    for i in todo:
+        spec = specs[i]
+        attempt = 0
+        while True:
+            try:
+                maybe_crash(spec.faults, attempt)
+                complete(i, execute_spec(spec))
+                break
+            except InjectedWorkerCrash as exc:
+                attempt += 1
+                if attempt > retries:
+                    complete(
+                        i,
+                        FailedRun(spec, str(exc), "worker-crash", attempt),
+                    )
+                    break
+                _backoff_sleep(attempt - 1, backoff)
+            except Exception as exc:  # noqa: BLE001 - placeholder contract
+                complete(
+                    i,
+                    FailedRun(
+                        spec,
+                        "%s: %s" % (type(exc).__name__, exc),
+                        "exception",
+                        attempt + 1,
+                    ),
+                )
+                break
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose worker blew its per-spec timeout.
+
+    ``ProcessPoolExecutor`` has no supported way to abandon a running
+    task, so the one honest option is to terminate the worker processes
+    (the executor then reports the pool broken and the unfinished,
+    innocent specs are resubmitted to a fresh pool).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+
+
+def _run_pooled(
+    specs: Sequence[RunSpec],
+    todo: Sequence[int],
+    used: int,
+    retries: int,
+    backoff: float,
+    timeout: Optional[float],
+    complete,
+) -> None:
+    """Pooled execution with retry-on-worker-death and timeouts.
+
+    Results are collected in submission order, so ``complete`` fires in
+    spec order for metrics-merge determinism.  The happy path is one
+    full-width pool round; ``BrokenProcessPool`` fails *every* pending
+    future (the executor cannot say whose worker died), so a broken
+    round charges no one — the unfinished specs are re-run in
+    *isolation rounds* (one spec per fresh pool, after capped
+    exponential backoff) where a crash is unambiguously attributable
+    and only the actual culprit burns its retry budget.  A spec that
+    exceeds the per-spec ``timeout`` becomes a FailedRun immediately
+    and its pool is terminated, which guarantees forward progress.
+    """
+    pending = list(todo)
+    attempts = {i: 0 for i in todo}
+    isolate = False
+    round_index = 0
+    while pending:
+        batch, pending = pending, []
+        if not isolate:
+            broke = _pool_round(
+                specs, batch, used, attempts, retries, timeout,
+                complete, pending, charge=False,
+            )
+            if broke:
+                isolate = True
+                _backoff_sleep(round_index, backoff)
+                round_index += 1
+        else:
+            for i in batch:
+                broke = _pool_round(
+                    specs, [i], 1, attempts, retries, timeout,
+                    complete, pending, charge=True,
+                )
+                if broke:
+                    _backoff_sleep(round_index, backoff)
+                    round_index += 1
+
+
+def _pool_round(
+    specs: Sequence[RunSpec],
+    batch: Sequence[int],
+    width: int,
+    attempts: Dict[int, int],
+    retries: int,
+    timeout: Optional[float],
+    complete,
+    requeue: List[int],
+    charge: bool,
+) -> bool:
+    """One pool lifetime over ``batch``; True when the pool broke.
+
+    ``charge`` marks whether a ``BrokenProcessPool`` is attributable to
+    the spec observing it (single-spec isolation rounds) or ambient
+    (full-width rounds, where the culprit's death fails every pending
+    future); unattributable breaks requeue the spec without burning its
+    retry budget.
+    """
+    pool = ProcessPoolExecutor(
+        max_workers=min(width, len(batch)), initializer=mark_pool_worker
+    )
+    broke = False
+    timed_out = False
+    try:
+        futures = {
+            i: pool.submit(_pool_entry, (specs[i], attempts[i]))
+            for i in batch
+        }
+        for i in batch:
+            spec = specs[i]
+            try:
+                summary = futures[i].result(timeout=timeout)
+            except FuturesTimeoutError:
+                complete(
+                    i,
+                    FailedRun(
+                        spec,
+                        "exceeded per-spec timeout of %.1fs" % timeout,
+                        "timeout",
+                        attempts[i] + 1,
+                    ),
+                )
+                timed_out = True
+                _terminate_pool(pool)
+            except BrokenProcessPool:
+                broke = True
+                if timed_out or not charge:
+                    requeue.append(i)  # victim of someone else's death
+                    continue
+                attempts[i] += 1
+                if attempts[i] > retries:
+                    complete(
+                        i,
+                        FailedRun(
+                            spec,
+                            "worker died (BrokenProcessPool) on every "
+                            "attempt",
+                            "worker-crash",
+                            attempts[i],
+                        ),
+                    )
+                else:
+                    requeue.append(i)
+            except Exception as exc:  # noqa: BLE001 - placeholder contract
+                complete(
+                    i,
+                    FailedRun(
+                        spec,
+                        "%s: %s" % (type(exc).__name__, exc),
+                        "exception",
+                        attempts[i] + 1,
+                    ),
+                )
+            else:
+                complete(i, summary)
+    finally:
+        # After a termination the workers are already gone; after a
+        # clean round every future is done — never block on exit.
+        pool.shutdown(wait=not (broke or timed_out), cancel_futures=True)
+    return broke or timed_out
 
 
 def _prewarm(specs: Sequence[RunSpec]) -> None:
@@ -303,7 +837,9 @@ def _prewarm(specs: Sequence[RunSpec]) -> None:
 
     Under the default ``fork`` start method workers then inherit the
     built caches instead of re-generating the city per process; under
-    ``spawn`` this is merely a cheap no-op for the children.
+    ``spawn`` this is merely a cheap no-op for the children.  Timed by
+    the caller and reported as ``cache_build_s`` so batch wall time
+    measures the runs, not the cache construction.
     """
     for city_seed in sorted({spec.city_seed for spec in specs}):
         shared_wigle(city_seed)
@@ -320,17 +856,28 @@ def metrics_path(name: str = "metrics") -> pathlib.Path:
     return artifact_path(name)
 
 
-def merged_metrics(results: Sequence[RunSummary]) -> dict:
-    """Fold every run's registry snapshot, in result order.
+def merged_metrics(results: Sequence[RunResult]) -> dict:
+    """Fold every completed run's registry snapshot, in result order.
 
     Result order is spec order regardless of worker count, so the merge
-    (float counter sums included) is worker-count invariant.
+    (float counter sums included) is worker-count invariant.  FailedRun
+    placeholders contribute nothing.
     """
-    return merge_snapshots(r.metrics for r in results if r.metrics is not None)
+    return merge_snapshots(
+        r.metrics
+        for r in results
+        if isinstance(r, RunSummary) and r.metrics is not None
+    )
+
+
+def _spec_venue(spec: RunSpec) -> Optional[str]:
+    return (
+        spec.venue if spec.venue is not None else spec.scenario.venue_name
+    )
 
 
 def write_metrics(
-    results: Sequence[RunSummary],
+    results: Sequence[RunResult],
     workers: int,
     name: str = "metrics",
 ) -> Optional[pathlib.Path]:
@@ -338,31 +885,37 @@ def write_metrics(
 
     The document carries the merged registry plus one entry per run
     (tag, seed, snapshot, retained events) so per-run timelines — the
-    PB/FB series in particular — survive next to the aggregate.  Set
-    ``REPRO_METRICS=0`` to disable.
+    PB/FB series in particular — survive next to the aggregate.  Failed
+    runs keep their slot with an empty snapshot and an ``error`` field.
+    Set ``REPRO_METRICS=0`` to disable.
     """
     if os.environ.get(METRICS_ENV, "1").strip() in ("0", "false", "off"):
         return None
+    runs = []
+    for r in results:
+        entry = {
+            "tag": r.spec.tag,
+            "attacker": r.spec.attacker,
+            "venue": _spec_venue(r.spec),
+            "seed": r.spec.seed,
+        }
+        if isinstance(r, RunSummary):
+            entry["metrics"] = r.metrics if r.metrics is not None else {}
+            entry["events"] = list(r.events)
+        else:
+            entry["metrics"] = MetricsRegistry().to_dict()
+            entry["events"] = []
+            entry["failed"] = True
+            entry["error"] = r.error
+            entry["failure_kind"] = r.kind
+            entry["attempts"] = r.attempts
+        runs.append(entry)
     doc = {
         "schema": METRICS_SCHEMA,
         "workers": workers,
         "run_count": len(results),
         "merged": merged_metrics(results),
-        "runs": [
-            {
-                "tag": r.spec.tag,
-                "attacker": r.spec.attacker,
-                "venue": (
-                    r.spec.venue
-                    if r.spec.venue is not None
-                    else r.spec.scenario.venue_name
-                ),
-                "seed": r.spec.seed,
-                "metrics": r.metrics if r.metrics is not None else {},
-                "events": list(r.events),
-            }
-            for r in results
-        ],
+        "runs": runs,
     }
     ensure_artifact_dir()
     path = metrics_path(name)
@@ -371,43 +924,52 @@ def write_metrics(
 
 
 def write_timings(
-    results: Sequence[RunSummary],
+    results: Sequence[RunResult],
     workers: int,
     total_wall: float,
     name: str = "timings",
+    cache_build: float = 0.0,
 ) -> Optional[pathlib.Path]:
     """Persist the batch timing artefact; returns its path.
 
     The serial estimate is the sum of per-run wall times, so the
     recorded speedup is against running the same batch with one worker
-    in the same session.  Set ``REPRO_TIMINGS=0`` to disable.
+    in the same session.  Cache construction (city/WiGLE prewarm) is
+    reported separately as ``cache_build_s`` rather than skewing the
+    batch wall.  Set ``REPRO_TIMINGS=0`` to disable.
     """
     if os.environ.get(TIMINGS_ENV, "1").strip() in ("0", "false", "off"):
         return None
-    serial_estimate = sum(r.wall_time for r in results)
+    completed = [r for r in results if isinstance(r, RunSummary)]
+    serial_estimate = sum(r.wall_time for r in completed)
+    runs = []
+    for r in results:
+        entry = {
+            "tag": r.spec.tag,
+            "attacker": r.spec.attacker,
+            "venue": _spec_venue(r.spec),
+            "seed": r.spec.seed,
+        }
+        if isinstance(r, RunSummary):
+            entry["sim_duration_s"] = r.duration
+            entry["wall_time_s"] = round(r.wall_time, 4)
+        else:
+            entry["failed"] = True
+            entry["error"] = r.error
+            entry["failure_kind"] = r.kind
+            entry["attempts"] = r.attempts
+        runs.append(entry)
     doc = {
         "workers": workers,
         "run_count": len(results),
+        "failed_count": len(results) - len(completed),
+        "cache_build_s": round(cache_build, 4),
         "total_wall_time_s": round(total_wall, 4),
         "serial_estimate_s": round(serial_estimate, 4),
         "speedup_vs_serial_estimate": (
             round(serial_estimate / total_wall, 3) if total_wall > 0 else None
         ),
-        "runs": [
-            {
-                "tag": r.spec.tag,
-                "attacker": r.spec.attacker,
-                "venue": (
-                    r.spec.venue
-                    if r.spec.venue is not None
-                    else r.spec.scenario.venue_name
-                ),
-                "seed": r.spec.seed,
-                "sim_duration_s": r.duration,
-                "wall_time_s": round(r.wall_time, 4),
-            }
-            for r in results
-        ],
+        "runs": runs,
     }
     path = timings_path(name)
     path.parent.mkdir(parents=True, exist_ok=True)

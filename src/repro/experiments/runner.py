@@ -16,6 +16,7 @@ from repro.experiments.calibration import (
     default_city,
 )
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
+from repro.faults.plan import FaultPlan
 from repro.population.groups import GroupModel
 from repro.population.pnl import PnlModel
 from repro.wigle.database import WigleDatabase
@@ -70,6 +71,7 @@ def run_experiment(
     group_probs: Optional[Sequence[float]] = None,
     pnl_model: Optional[PnlModel] = None,
     group_model: Optional[GroupModel] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Run one attack deployment and summarise it."""
     if group_probs is None:
@@ -91,6 +93,7 @@ def run_experiment(
         quick_share=profile.quick_share,
         pnl_model=pnl_model,
         group_model=group_model,
+        faults=faults,
     )
     build = build_scenario(city, wigle, config, attacker_factory)
     # Let in-flight visits and handshakes complete a little past the end.

@@ -24,6 +24,8 @@ from repro.devices.profiles import DEFAULT_SCAN_PROFILE, ScanProfile
 from repro.dot11.mac import random_ap_mac, random_client_mac
 from repro.dot11.medium import Medium
 from repro.dot11.timing import DEFAULT_SCAN_TIMING, ScanTiming
+from repro.faults.outages import OutageSchedule
+from repro.faults.plan import FaultPlan
 from repro.mobility.arrivals import ArrivalProcess
 from repro.mobility.base import PathMobility
 from repro.mobility.corridor import corridor_walk
@@ -88,6 +90,13 @@ class ScenarioConfig:
     trace: Optional[bool] = None
     """Row-level tracing: True/False force it; None defers to the
     ``REPRO_TRACE`` environment variable (default off)."""
+
+    loss_rate: float = 0.0
+    """Uniform frame-loss probability of the medium (1.0 = blackout)."""
+
+    faults: Optional[FaultPlan] = None
+    """Deterministic fault plan (None injects nothing — byte-identical
+    to a build from before fault injection existed)."""
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -167,7 +176,13 @@ def build_scenario(
     """Assemble one scenario; the caller runs ``build.sim.run(duration)``."""
     venue = city.venue(config.venue_name)
     sim = Simulation(seed=config.seed, trace=config.trace)
-    medium = Medium(sim, fidelity=config.fidelity)
+    plan = config.faults
+    medium = Medium(
+        sim,
+        fidelity=config.fidelity,
+        loss_rate=config.loss_rate,
+        burst_loss=plan.channel if plan is not None else None,
+    )
 
     near = wigle.nearest_free_ssids(venue.region.center, config.neighbour_count + 10)
     neighbours = [s for s in near if s not in venue.wifi_ssids]
@@ -181,6 +196,16 @@ def build_scenario(
     )
 
     attacker = attacker_factory(sim, medium, venue)
+    if plan is not None and plan.outages is not None:
+        install = getattr(attacker, "install_outages", None)
+        if install is not None:
+            install(
+                OutageSchedule.generate(
+                    plan.outages,
+                    config.duration,
+                    sim.rngs.stream("faults.outage"),
+                )
+            )
     sim.add_entity(attacker)
 
     mobility_rng = sim.rngs.stream("mobility")

@@ -1,0 +1,48 @@
+"""Deterministic fault injection (``repro.faults``).
+
+City-Hunter's headline numbers were measured over real, unreliable air;
+this package reintroduces the non-idealities the simulation otherwise
+abstracts away, as *seed-derived*, fully deterministic fault plans:
+
+* :class:`~repro.faults.plan.FaultPlan` — the picklable description of
+  every fault a run should suffer, carried on
+  :class:`~repro.experiments.parallel.RunSpec` /
+  :class:`~repro.experiments.scenarios.ScenarioConfig`;
+* :class:`~repro.faults.gilbert.GilbertElliottChannel` — bursty frame
+  loss for :class:`~repro.dot11.medium.Medium`;
+* :class:`~repro.faults.outages.OutageSchedule` — attacker radio
+  outages honoured by :class:`~repro.attacks.base.RogueAp`;
+* :mod:`~repro.faults.wigle` — corrupted / missing WiGLE records that
+  :func:`~repro.core.seeding.seed_database` skips and backfills;
+* :mod:`~repro.faults.chaos` — injected worker crashes exercising the
+  executor's retry + checkpoint machinery.
+
+Every injected fault is counted under ``faults.*`` metrics and, where
+the frequency allows, evented through the run's
+:class:`~repro.obs.events.EventSink`.  An empty plan injects nothing
+and leaves every byte of a run's output unchanged.
+"""
+
+from repro.faults.chaos import InjectedWorkerCrash, maybe_crash
+from repro.faults.gilbert import GilbertElliottChannel
+from repro.faults.outages import OutageSchedule, OutageWindow
+from repro.faults.plan import (
+    FaultPlan,
+    GilbertElliottParams,
+    OutageParams,
+    WigleFaultParams,
+)
+from repro.faults.wigle import ssid_fault_kind
+
+__all__ = [
+    "FaultPlan",
+    "GilbertElliottParams",
+    "GilbertElliottChannel",
+    "InjectedWorkerCrash",
+    "OutageParams",
+    "OutageSchedule",
+    "OutageWindow",
+    "WigleFaultParams",
+    "maybe_crash",
+    "ssid_fault_kind",
+]

@@ -1,0 +1,55 @@
+"""The Gilbert–Elliott bursty-loss channel.
+
+A two-state Markov chain (good/bad) advanced one step per delivery
+attempt, with an independent loss draw in whichever state results.
+Bursts arise naturally: once the chain enters the bad state it tends to
+stay for ``1 / p_good`` attempts, so losses cluster the way channel
+contention clusters them in the field — unlike the medium's uniform
+``loss_rate`` where every frame is an independent coin flip.
+
+The chain owns no RNG; the caller hands it a dedicated stream (the
+medium uses ``sim.rngs.stream("faults.channel")``) so enabling bursty
+loss never perturbs any other subsystem's draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.plan import GilbertElliottParams
+
+
+class GilbertElliottChannel:
+    """Mutable chain state plus loss bookkeeping for one run."""
+
+    __slots__ = ("params", "_rng", "bad", "attempts", "losses")
+
+    def __init__(self, params: GilbertElliottParams, rng: np.random.Generator):
+        self.params = params
+        self._rng = rng
+        self.bad = False
+        self.attempts = 0
+        self.losses = 0
+
+    def lost(self) -> bool:
+        """Advance the chain one delivery attempt; True drops the frame."""
+        p = self.params
+        if self.bad:
+            if self._rng.random() < p.p_good:
+                self.bad = False
+        else:
+            if self._rng.random() < p.p_bad:
+                self.bad = True
+        self.attempts += 1
+        loss_p = p.loss_bad if self.bad else p.loss_good
+        dropped = loss_p > 0.0 and self._rng.random() < loss_p
+        if dropped:
+            self.losses += 1
+        return dropped
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Fraction of attempts dropped so far."""
+        if self.attempts == 0:
+            return 0.0
+        return self.losses / self.attempts

@@ -1,0 +1,85 @@
+"""Attacker radio outage schedules.
+
+An outage schedule is generated *eagerly* at scenario build time from a
+dedicated RNG stream — a fixed, inspectable list of windows rather than
+events that mutate hidden state mid-run.  That makes schedules easy to
+assert on in tests, cheap to query from the hot receive path (bisect on
+window starts), and trivially deterministic: the same run seed always
+yields the same windows.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.faults.plan import OutageParams
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One half-open ``[start, end)`` interval of radio death."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class OutageSchedule:
+    """An ordered, non-overlapping set of outage windows."""
+
+    def __init__(self, windows: Tuple[OutageWindow, ...]):
+        for a, b in zip(windows, windows[1:]):
+            if b.start < a.end:
+                raise ValueError("outage windows must be ordered and disjoint")
+        self.windows = tuple(windows)
+        self._starts = [w.start for w in self.windows]
+
+    @classmethod
+    def generate(
+        cls,
+        params: OutageParams,
+        duration: float,
+        rng: np.random.Generator,
+    ) -> "OutageSchedule":
+        """Draw a schedule over ``[0, duration)`` simulated seconds.
+
+        Onsets are a Poisson process at ``rate_per_hour``; each outage
+        lasts an exponential ``duration_mean_s`` floored at
+        ``duration_min_s``.  The next onset is drawn from the *end* of
+        the previous outage, so windows never overlap.
+        """
+        windows: List[OutageWindow] = []
+        if params.rate_per_hour > 0.0:
+            mean_gap = 3600.0 / params.rate_per_hour
+            t = 0.0
+            while True:
+                t += float(rng.exponential(mean_gap))
+                if t >= duration:
+                    break
+                length = max(
+                    params.duration_min_s,
+                    float(rng.exponential(params.duration_mean_s)),
+                )
+                windows.append(OutageWindow(t, t + length))
+                t += length
+        return cls(tuple(windows))
+
+    def down_at(self, time: float) -> bool:
+        """Whether the radio is dead at simulation time ``time``."""
+        idx = bisect.bisect_right(self._starts, time) - 1
+        return idx >= 0 and time < self.windows[idx].end
+
+    @property
+    def total_downtime(self) -> float:
+        """Summed length of every window (seconds)."""
+        return sum(w.duration for w in self.windows)
+
+    def __len__(self) -> int:
+        return len(self.windows)

@@ -1,0 +1,160 @@
+"""The fault plan: one picklable description of every injected fault.
+
+A plan is *declarative* — it names distributions and fractions, never
+concrete draw outcomes.  All randomness is derived either from the run's
+own :class:`~repro.util.rng.RngRegistry` (dedicated ``faults.*`` streams,
+so enabling a fault never perturbs the draws of any other subsystem) or
+from the plan's ``seed`` salt (WiGLE corruption, which must be decided
+before a simulation exists).  Two runs with the same spec and the same
+plan therefore suffer *bit-identical* faults, and an empty plan is
+byte-for-byte equivalent to no plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("%s must be a probability, got %r" % (name, value))
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Two-state bursty-loss channel (Gilbert–Elliott).
+
+    The chain advances one step per delivery attempt: ``p_bad`` is the
+    good→bad transition probability, ``p_good`` the bad→good recovery,
+    and each state drops frames independently at its own rate.  The
+    defaults model the contention bursts of a crowded 2.4 GHz channel:
+    rare onsets, short bursts, heavy loss while inside one.
+    """
+
+    p_bad: float = 0.05
+    p_good: float = 0.35
+    loss_good: float = 0.0
+    loss_bad: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name in ("p_bad", "p_good", "loss_good", "loss_bad"):
+            _check_probability(name, getattr(self, name))
+        if self.p_bad + self.p_good <= 0.0:
+            raise ValueError("degenerate chain: p_bad + p_good must be > 0")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run share of delivery attempts spent in the bad state."""
+        return self.p_bad / (self.p_bad + self.p_good)
+
+    @property
+    def marginal_loss(self) -> float:
+        """Long-run loss rate (what a uniform channel would need)."""
+        bad = self.stationary_bad
+        return bad * self.loss_bad + (1.0 - bad) * self.loss_good
+
+
+@dataclass(frozen=True)
+class OutageParams:
+    """Attacker radio outages (NIC resets, thermal throttling, power).
+
+    Outage onsets arrive as a Poisson process at ``rate_per_hour``;
+    each outage lasts an exponential ``duration_mean_s`` (floored at
+    ``duration_min_s``).  While an outage is active the attacker NIC is
+    dead: it neither receives probes nor transmits responses.
+    """
+
+    rate_per_hour: float = 2.0
+    duration_mean_s: float = 45.0
+    duration_min_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_hour < 0:
+            raise ValueError(
+                "rate_per_hour must be >= 0, got %r" % self.rate_per_hour
+            )
+        if self.duration_mean_s <= 0 or self.duration_min_s < 0:
+            raise ValueError("outage durations must be positive")
+
+
+@dataclass(frozen=True)
+class WigleFaultParams:
+    """Corrupted / missing records in the WiGLE export.
+
+    Real wardriving registries carry mojibake SSIDs, stale entries and
+    plain gaps.  ``missing_fraction`` of SSIDs are absent from the
+    export; a further ``corrupt_fraction`` are present but garbled
+    beyond use.  Seeding skips both kinds and backfills from
+    carrier/textgen SSIDs so the database keeps its designed size.
+    """
+
+    corrupt_fraction: float = 0.0
+    missing_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("corrupt_fraction", self.corrupt_fraction)
+        _check_probability("missing_fraction", self.missing_fraction)
+        if self.corrupt_fraction + self.missing_fraction > 1.0:
+            raise ValueError("corrupt + missing fractions exceed 1.0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything one run should suffer.  Empty by default.
+
+    ``seed`` salts the plan-level draws (WiGLE corruption); in-run
+    draws (channel, outages) come from the simulation's own ``faults.*``
+    RNG streams, so they are derived from the run seed instead.
+    ``worker_crashes`` is executor-level chaos: the first N attempts at
+    executing the spec die as if the worker process was OOM-killed,
+    which exercises retry + checkpoint without touching the run itself.
+    """
+
+    seed: int = 0
+    channel: Optional[GilbertElliottParams] = None
+    outages: Optional[OutageParams] = None
+    wigle: Optional[WigleFaultParams] = None
+    worker_crashes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.worker_crashes < 0:
+            raise ValueError(
+                "worker_crashes must be >= 0, got %r" % self.worker_crashes
+            )
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.channel is None
+            and self.outages is None
+            and self.wigle is None
+            and self.worker_crashes == 0
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the CLI ``--fault-plan`` schema)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {"seed", "channel", "outages", "wigle", "worker_crashes"}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                "unknown fault-plan keys: %s" % ", ".join(sorted(unknown))
+            )
+        channel = doc.get("channel")
+        outages = doc.get("outages")
+        wigle = doc.get("wigle")
+        return cls(
+            seed=int(doc.get("seed", 0)),
+            channel=(
+                GilbertElliottParams(**channel) if channel is not None else None
+            ),
+            outages=OutageParams(**outages) if outages is not None else None,
+            wigle=WigleFaultParams(**wigle) if wigle is not None else None,
+            worker_crashes=int(doc.get("worker_crashes", 0)),
+        )

@@ -1,0 +1,38 @@
+"""Deterministic corrupted/missing WiGLE record selection.
+
+Whether a given SSID's records survive the export is decided by hashing
+``(plan seed, ssid)`` through the same SHA-256 fan-out the RNG registry
+uses — a pure function, so the *same* SSIDs are corrupted for every
+attacker, every run and every worker under one plan seed, and the
+decision needs no live registry or simulation to evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import WigleFaultParams
+from repro.util.rng import derive_seed
+
+_DENOM = float(2**64)
+
+
+def ssid_fault_kind(
+    params: Optional[WigleFaultParams], salt: int, ssid: str
+) -> Optional[str]:
+    """``"missing"`` / ``"corrupt"`` / ``None`` for one SSID.
+
+    The unit draw comes from ``derive_seed(salt, "wigle-fault:<ssid>")``
+    mapped onto [0, 1); the missing band is checked first so the two
+    fractions partition the space without overlap.
+    """
+    if params is None:
+        return None
+    if params.missing_fraction <= 0.0 and params.corrupt_fraction <= 0.0:
+        return None
+    u = derive_seed(salt, f"wigle-fault:{ssid}") / _DENOM
+    if u < params.missing_fraction:
+        return "missing"
+    if u < params.missing_fraction + params.corrupt_fraction:
+        return "corrupt"
+    return None

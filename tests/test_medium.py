@@ -62,7 +62,22 @@ class TestAttachment:
     def test_bad_loss_rate_rejected(self):
         sim = Simulation(seed=0)
         with pytest.raises(ValueError):
-            Medium(sim, loss_rate=1.0)
+            Medium(sim, loss_rate=1.5)
+        with pytest.raises(ValueError):
+            Medium(sim, loss_rate=-0.1)
+
+    def test_total_blackout_allowed(self):
+        # loss_rate=1.0 is a legal, useful degenerate case: the channel
+        # exists but delivers nothing.
+        sim, medium = _setup(loss_rate=1.0)
+        a = FakeStation("02:00:00:00:00:01", Point(0, 0))
+        b = FakeStation("02:00:00:00:00:02", Point(10, 0))
+        medium.attach(a, 50.0)
+        medium.attach(b, 50.0)
+        medium.transmit(a, ProbeRequest(a.mac))
+        sim.run(1.0)
+        assert b.received == []
+        assert medium.frames_delivered == 0
 
 
 class TestBroadcastPropagation:
