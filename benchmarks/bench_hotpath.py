@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Hot-path benchmark: spatial-index vs brute-force frame delivery.
+
+Builds a city-block-scale world — stations spread over a square
+kilometre-plus area, a share of them walking, every one broadcasting a
+probe every couple of seconds — and runs the *same* scripted event load
+through the medium twice per grid point: spatial index on, then off
+(``index=False``, the pre-index brute-force scan).  Both runs must
+deliver the identical frame count (the equivalence contract, re-checked
+here on every benchmark run), and the wall-clock ratio is the headline
+speedup number.
+
+Writes ``benchmarks/out/BENCH_hotpath.json`` and prints the table.
+``--assert-speedup X`` exits non-zero unless every grid point at
+``--assert-at`` stations or more reaches an ``X``-fold speedup — the
+contract CI's perf-smoke job enforces (2x at >= 200 stations).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--assert-speedup 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _shared import OUT_DIR, emit  # noqa: E402
+from repro.dot11.frames import ProbeRequest  # noqa: E402
+from repro.dot11.medium import DEFAULT_INDEX_CELL_M, Medium  # noqa: E402
+from repro.geo.point import Point  # noqa: E402
+from repro.sim.simulation import Simulation  # noqa: E402
+
+SCHEMA = "repro.bench_hotpath/v1"
+ARTIFACT = "BENCH_hotpath.json"
+
+STATION_GRID = (50, 100, 200, 400)
+SIM_SECONDS = (30.0,)
+AREA_M = 1500.0
+TX_RANGE_M = 55.0
+PROBE_INTERVAL_S = 2.0
+MOVING_SHARE = 0.5
+WALK_SPEED_MPS = 1.4
+
+
+class BenchStation:
+    """Walking (or parked) probe sender that counts what it hears."""
+
+    __slots__ = ("mac", "_ox", "_oy", "_vx", "_vy", "max_speed_mps", "heard")
+
+    def __init__(self, mac, origin, velocity):
+        self.mac = mac
+        self._ox, self._oy = origin
+        self._vx, self._vy = velocity
+        self.max_speed_mps = math.hypot(*velocity)
+        self.heard = 0
+
+    def position_at(self, time):
+        return Point(self._ox + self._vx * time, self._oy + self._vy * time)
+
+    def receive(self, frame, time):
+        self.heard += 1
+
+
+def _build(n_stations, layout_seed, index):
+    rng = np.random.default_rng(layout_seed)
+    sim = Simulation(seed=layout_seed)
+    medium = Medium(sim, index=index)
+    stations = []
+    for i in range(n_stations):
+        origin = (rng.uniform(0, AREA_M), rng.uniform(0, AREA_M))
+        if rng.random() < MOVING_SHARE:
+            heading = rng.uniform(0, 2 * math.pi)
+            speed = rng.uniform(0.3, 1.0) * WALK_SPEED_MPS
+            velocity = (speed * math.cos(heading), speed * math.sin(heading))
+        else:
+            velocity = (0.0, 0.0)
+        st = BenchStation(f"02:be:00:00:{i >> 8:02x}:{i & 0xFF:02x}", origin, velocity)
+        stations.append(st)
+        medium.attach(st, TX_RANGE_M)
+
+    def probe_loop(station):
+        medium.transmit(station, ProbeRequest(station.mac))
+        sim.at(PROBE_INTERVAL_S, probe_loop, station)
+
+    for st in stations:
+        sim.at(float(rng.uniform(0, PROBE_INTERVAL_S)), probe_loop, st)
+    return sim, medium, stations
+
+
+def _run_point(n_stations, sim_seconds, layout_seed=7):
+    point = {"stations": n_stations, "sim_seconds": sim_seconds}
+    delivered = {}
+    for label, index in (("index", True), ("brute", False)):
+        sim, medium, stations = _build(n_stations, layout_seed, index)
+        start = time.perf_counter()
+        sim.run(sim_seconds)
+        wall = time.perf_counter() - start
+        delivered[label] = medium.frames_delivered
+        point[label] = {
+            "wall_s": round(wall, 4),
+            "frames_per_s": (
+                round(medium.frames_delivered / wall) if wall > 0 else None
+            ),
+        }
+        if index:
+            point["index"]["queries"] = medium.index_queries
+            point["index"]["mean_candidates"] = (
+                round(medium.index_candidates / medium.index_queries, 1)
+                if medium.index_queries
+                else None
+            )
+    if delivered["index"] != delivered["brute"]:
+        raise AssertionError(
+            "equivalence violated at %d stations: %d != %d delivered"
+            % (n_stations, delivered["index"], delivered["brute"])
+        )
+    point["frames_delivered"] = delivered["index"]
+    point["speedup"] = round(
+        point["brute"]["wall_s"] / point["index"]["wall_s"], 2
+    )
+    return point
+
+
+def run_grid():
+    grid = []
+    for sim_seconds in SIM_SECONDS:
+        for n_stations in STATION_GRID:
+            grid.append(_run_point(n_stations, sim_seconds))
+    return grid
+
+
+def render(grid):
+    lines = [
+        "Hot-path benchmark: broadcast delivery, index vs brute force",
+        f"area {AREA_M:.0f} m sq, tx {TX_RANGE_M:.0f} m, probe every "
+        f"{PROBE_INTERVAL_S:.0f} s, cell {DEFAULT_INDEX_CELL_M:.0f} m",
+        "",
+        f"{'stations':>8} {'sim s':>6} {'frames':>8} "
+        f"{'index s':>8} {'brute s':>8} {'speedup':>8} {'idx fr/s':>9}",
+    ]
+    for p in grid:
+        lines.append(
+            f"{p['stations']:>8} {p['sim_seconds']:>6.0f} "
+            f"{p['frames_delivered']:>8} {p['index']['wall_s']:>8.3f} "
+            f"{p['brute']['wall_s']:>8.3f} {p['speedup']:>7.2f}x "
+            f"{p['index']['frames_per_s']:>9}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every point at --assert-at+ stations speeds up X-fold",
+    )
+    parser.add_argument(
+        "--assert-at",
+        type=int,
+        default=200,
+        metavar="N",
+        help="station count from which --assert-speedup applies (default 200)",
+    )
+    args = parser.parse_args(argv)
+
+    grid = run_grid()
+    doc = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cell_m": DEFAULT_INDEX_CELL_M,
+        "area_m": AREA_M,
+        "tx_range_m": TX_RANGE_M,
+        "probe_interval_s": PROBE_INTERVAL_S,
+        "moving_share": MOVING_SHARE,
+        "grid": grid,
+        "max_speedup": max(p["speedup"] for p in grid),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / ARTIFACT).write_text(json.dumps(doc, indent=2) + "\n")
+    emit("bench_hotpath", render(grid))
+    print(f"\nwrote {OUT_DIR / ARTIFACT}")
+
+    if args.assert_speedup is not None:
+        slow = [
+            p
+            for p in grid
+            if p["stations"] >= args.assert_at
+            and p["speedup"] < args.assert_speedup
+        ]
+        if slow:
+            for p in slow:
+                print(
+                    "FAIL: %d stations reached only %.2fx (< %.1fx)"
+                    % (p["stations"], p["speedup"], args.assert_speedup)
+                )
+            return 1
+        print(
+            "speedup contract OK: >= %.1fx at >= %d stations"
+            % (args.assert_speedup, args.assert_at)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ the two probe hooks.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.session import AttackSession, SentSsid
 from repro.dot11.capabilities import Security
@@ -27,7 +27,7 @@ from repro.dot11.medium import Medium
 from repro.dot11.timing import DEFAULT_SCAN_TIMING, ScanTiming
 from repro.faults.outages import OutageSchedule
 from repro.geo.point import Point
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, metric_key
 from repro.sim.simulation import Simulation
 
 DEFAULT_ATTACKER_RANGE_M = 55.0
@@ -46,11 +46,18 @@ PROVENANCE_BY_ORIGIN = {
 weighted database refine ``wigle`` into ``wigle-near`` /
 ``wigle-heat`` (see :meth:`RogueAp.provenance_of`)."""
 
+_PROBE_KEY = {
+    True: metric_key("attacker.probes", {"type": "direct"}),
+    False: metric_key("attacker.probes", {"type": "broadcast"}),
+}
+"""Pre-computed counter keys for the per-probe hot path."""
+
 
 class RogueAp:
     """Base evil twin: answers probes, completes handshakes, records hits."""
 
     name = "rogue"
+    max_speed_mps = 0.0  # fixed installation: spatial-index eligible
 
     def __init__(
         self,
@@ -71,6 +78,7 @@ class RogueAp:
         self.channel = validate_channel(channel)
         self.sim: Optional[Simulation] = None
         self.outages: Optional[OutageSchedule] = None
+        self._sent_keys: Dict[Tuple[str, str], str] = {}
 
     # -- Station protocol ------------------------------------------------------
 
@@ -152,10 +160,7 @@ class RogueAp:
             direct = not frame.is_broadcast_probe
             self.session.observe_probe(frame.src, time, direct)
             if metrics is not None:
-                metrics.inc(
-                    "attacker.probes",
-                    type="direct" if direct else "broadcast",
-                )
+                metrics.inc_key(_PROBE_KEY[direct])
             if self.sim is not None:
                 self.sim.emit(
                     "probe", frame.src, "direct" if direct else "broadcast"
@@ -220,17 +225,30 @@ class RogueAp:
         )
 
     def _count_sent(self, metas: Sequence[SentSsid]) -> None:
-        """Metric bookkeeping for one outgoing response burst."""
+        """Metric bookkeeping for one outgoing response burst.
+
+        Increments are batched per (provenance, bucket) group — one dict
+        update per group instead of one per SSID — with the flat metric
+        keys cached across bursts.  Totals are identical to per-SSID
+        increments, and so is counter insertion order (a group first
+        appears exactly when its first SSID would have)."""
         metrics = self.metrics
         if metrics is None:
             return
         metrics.inc("attacker.responses_sent", len(metas))
+        grouped: Dict[Tuple[str, str], int] = {}
         for meta in metas:
-            metrics.inc(
-                "attacker.ssids_sent",
-                provenance=self.provenance_of(meta.ssid, meta.origin),
-                bucket=meta.bucket,
-            )
+            group = (self.provenance_of(meta.ssid, meta.origin), meta.bucket)
+            grouped[group] = grouped.get(group, 0) + 1
+        keys = self._sent_keys
+        for group, count in grouped.items():
+            key = keys.get(group)
+            if key is None:
+                key = keys[group] = metric_key(
+                    "attacker.ssids_sent",
+                    {"provenance": group[0], "bucket": group[1]},
+                )
+            metrics.inc_key(key, count)
         metrics.observe(
             "attacker.burst_size", len(metas), buckets=BURST_SIZE_BUCKETS
         )

@@ -76,7 +76,11 @@ def select_for_client(
     ranked = db.ranked()
     pb_quota = max(0, split.pb_size - config.ghost_picks)
     pb_ghost_pool: List[SsidEntry] = []
-    for entry in ranked:
+    # Where the head scan stopped: every entry below resume_i is tried,
+    # in pb_list, or in pb_ghost_pool, so the top-up below never needs
+    # to re-scan the ranking head.
+    resume_i = len(ranked)
+    for i, entry in enumerate(ranked):
         if entry.ssid in tried:
             continue
         if len(pb_list) < pb_quota:
@@ -84,6 +88,7 @@ def select_for_client(
         elif len(pb_ghost_pool) < config.ghost_size:
             pb_ghost_pool.append(entry)
         else:
+            resume_i = i
             break
 
     # --- freshness buffer -------------------------------------------------
@@ -108,10 +113,16 @@ def select_for_client(
     chosen.extend(pb_list)
 
     # --- ghost picks ---------------------------------------------------------
+    # Both pools must exclude SSIDs the other buffer already chose: the
+    # FB may have taken a mid-rank SSID that also sits in the PB ghost
+    # window, and offering it twice in one burst wastes a slot (caught
+    # by the burst-uniqueness property test).
     if pb_ghost_pool and config.ghost_picks:
-        count = min(config.ghost_picks, len(pb_ghost_pool))
-        for i in rng.choice(len(pb_ghost_pool), size=count, replace=False):
-            take(pb_ghost_pool[int(i)], "pb_ghost")
+        pool = [e for e in pb_ghost_pool if e.ssid not in chosen_ssids]
+        count = min(config.ghost_picks, len(pool))
+        if count:
+            for i in rng.choice(len(pool), size=count, replace=False):
+                take(pool[int(i)], "pb_ghost")
     if fb_ghost_pool and config.ghost_picks:
         pool = [e for e in fb_ghost_pool if e.ssid not in chosen_ssids]
         count = min(config.ghost_picks, len(pool))
@@ -120,10 +131,20 @@ def select_for_client(
                 take(pool[int(i)], "fb_ghost")
 
     # --- top-up from the weight ranking -----------------------------------
+    # Equivalent to re-scanning ``ranked`` from the top, but O(remaining):
+    # every untried entry above resume_i is either already chosen or
+    # sitting in pb_ghost_pool (in rank order), so the ghost leftovers
+    # followed by the unexamined tail reproduce the full scan exactly.
     if len(chosen) < config.burst_total:
-        for entry in ranked:
+        for entry in pb_ghost_pool:
             if len(chosen) >= config.burst_total:
                 break
+            if entry.ssid not in chosen_ssids:
+                take(entry, "pb")
+        for j in range(resume_i, len(ranked)):
+            if len(chosen) >= config.burst_total:
+                break
+            entry = ranked[j]
             if entry.ssid in tried or entry.ssid in chosen_ssids:
                 continue
             take(entry, "pb")

@@ -3,14 +3,20 @@
 Entries carry a popularity *weight* (seeded from WiGLE heat rank, bumped
 on every successful hit) and freshness state (time of last hit).  The
 two orderings the selection step needs — by weight and by recency of
-hit — are both served from caches that invalidate on mutation, keeping
-per-probe selection cheap even for thousands of probes per run.
+hit — are both maintained *incrementally*: the weight ranking is a pair
+of parallel sorted lists updated by bisection on every mutation
+(``O(log n)`` to find, ``O(n)`` memmove — no ``O(n log n)`` re-sort ever
+happens after seeding), and the recency list is edited in place.  A
+property test pins :meth:`ranked` to the obvious
+``sorted(entries, key=(-weight, ssid))`` oracle after arbitrary
+add/bump/hit interleavings.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -49,7 +55,11 @@ class WeightedSsidDatabase:
 
     def __init__(self) -> None:
         self._entries: Dict[str, SsidEntry] = {}
-        self._ranked: Optional[List[SsidEntry]] = None
+        # Parallel sorted lists: _rank_keys[i] == (-weight, ssid) of
+        # _rank_entries[i].  The key is a total order (ssid is unique),
+        # so every entry's position is found exactly by bisection.
+        self._rank_keys: List[Tuple[float, str]] = []
+        self._rank_entries: List[SsidEntry] = []
         self._recency: List[str] = []
 
     def __len__(self) -> int:
@@ -61,6 +71,28 @@ class WeightedSsidDatabase:
     def get(self, ssid: str) -> Optional[SsidEntry]:
         """The entry for ``ssid`` or None."""
         return self._entries.get(ssid)
+
+    # -- incremental ranking ----------------------------------------------
+
+    def _rank_insert(self, entry: SsidEntry) -> None:
+        key = (-entry.weight, entry.ssid)
+        i = bisect_left(self._rank_keys, key)
+        self._rank_keys.insert(i, key)
+        self._rank_entries.insert(i, entry)
+
+    def _rank_remove(self, weight: float, ssid: str) -> None:
+        key = (-weight, ssid)
+        i = bisect_left(self._rank_keys, key)
+        # The key is present by construction; assert-grade check only.
+        if i >= len(self._rank_keys) or self._rank_keys[i] != key:
+            raise RuntimeError("ranking out of sync for %r" % ssid)
+        del self._rank_keys[i]
+        del self._rank_entries[i]
+
+    def _reweight(self, entry: SsidEntry, new_weight: float) -> None:
+        self._rank_remove(entry.weight, entry.ssid)
+        entry.weight = new_weight
+        self._rank_insert(entry)
 
     def add(
         self,
@@ -75,17 +107,17 @@ class WeightedSsidDatabase:
         existing = self._entries.get(ssid)
         if existing is not None:
             if weight > existing.weight:
-                existing.weight = weight
-                self._ranked = None
+                self._reweight(existing, weight)
             return False
-        self._entries[ssid] = SsidEntry(
+        entry = SsidEntry(
             ssid=ssid,
             weight=weight,
             origin=origin,
             added_at=time,
             seed_class=seed_class or _SEED_CLASS_BY_ORIGIN.get(origin, origin),
         )
-        self._ranked = None
+        self._entries[ssid] = entry
+        self._rank_insert(entry)
         return True
 
     def bump_weight(self, ssid: str, delta: float) -> None:
@@ -93,8 +125,7 @@ class WeightedSsidDatabase:
         entry = self._entries.get(ssid)
         if entry is None:
             return
-        entry.weight += delta
-        self._ranked = None
+        self._reweight(entry, entry.weight + delta)
 
     def record_hit(
         self, ssid: str, time: float, weight_bonus: float = 0.0, fresh: bool = True
@@ -112,8 +143,7 @@ class WeightedSsidDatabase:
         entry.hits += 1
         entry.last_hit = time
         if weight_bonus:
-            entry.weight += weight_bonus
-            self._ranked = None
+            self._reweight(entry, entry.weight + weight_bonus)
         if not fresh:
             return
         try:
@@ -124,12 +154,9 @@ class WeightedSsidDatabase:
 
     def ranked(self) -> List[SsidEntry]:
         """Entries by weight descending (ties broken by SSID for
-        determinism).  Cached between mutations."""
-        if self._ranked is None:
-            self._ranked = sorted(
-                self._entries.values(), key=lambda e: (-e.weight, e.ssid)
-            )
-        return self._ranked
+        determinism).  The list is maintained incrementally — callers
+        must treat it as read-only."""
+        return self._rank_entries
 
     def recent_hits(self) -> List[str]:
         """SSIDs by recency of last hit, most recent first."""

@@ -39,6 +39,8 @@ class MultiSsidDetector:
     every overheard probe response and raises an alarm at ``threshold``.
     """
 
+    max_speed_mps = 0.0  # fixed observation post: spatial-index eligible
+
     def __init__(
         self,
         mac: MacAddress,
@@ -102,6 +104,8 @@ class CanaryProbeDetector:
     this specific trap — it never mimics — but its KARMA-style direct
     handler is not.)
     """
+
+    max_speed_mps = 0.0  # fixed observation post: spatial-index eligible
 
     def __init__(
         self,

@@ -24,10 +24,42 @@ dedicated ``faults.channel`` RNG stream and counts every drop under the
 ``faults.frames_lost`` metric, so enabling it never perturbs the
 uniform channel's draws and a run without it is byte-identical to one
 built before bursty loss existed.
+
+Spatial index
+-------------
+
+Broadcast recipient resolution historically scanned every attached
+station per frame — O(N) per probe, O(N²)-ish per urban-scale run.  The
+medium now keeps a :class:`~repro.geo.grid.MutableSpatialGrid` of
+station positions and resolves broadcast recipients from the cells
+around the sender instead.  The index is *provably a pure accelerator*:
+
+* Stations carrying a finite speed bound (``max_speed_mps``; phones
+  derive it from their :meth:`~repro.mobility.base.PathMobility.max_speed`)
+  are binned at their last refresh position.  A query at time ``now``
+  inflates the search radius by ``v_max * (now - refresh_time)``, so a
+  station that walked since the refresh can never be missed; candidates
+  are then re-checked with the exact same distance predicate as the
+  brute-force scan.  The grid is refreshed lazily, at most once per
+  ``index_refresh_s`` of simulated time, rebinning only stations whose
+  cell changed.
+* Stations without a speed bound live in an always-scanned side set —
+  exactness never depends on cooperative station classes.
+* Candidates are re-ordered by attach sequence before delivery, so loss
+  draws and ``receive`` callbacks happen in the identical order as the
+  brute-force path.
+* Stochastic propagation models (``propagation.deterministic`` False)
+  consume one RNG draw per *candidate*, so the index automatically
+  falls back to the brute-force scan for them.
+
+``REPRO_MEDIUM_INDEX=off`` (or the ``index=False`` argument) forces the
+brute-force path; the differential test suite pins the two paths to
+bit-identical recipient sets, loss draws and run metrics.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Protocol, Sequence
 
 from repro.dot11.frames import Frame, ProbeResponse
@@ -35,13 +67,39 @@ from repro.dot11.mac import BROADCAST_MAC, MacAddress
 from repro.dot11.propagation import DiscPropagation, Propagation
 from repro.faults.gilbert import GilbertElliottChannel
 from repro.faults.plan import GilbertElliottParams
+from repro.geo.grid import MutableSpatialGrid
 from repro.geo.point import Point
 from repro.sim.simulation import Simulation
+from repro.util.rng import BufferedUniform
 from repro.util.units import MANAGEMENT_FRAME_AIRTIME_S, PROBE_RESPONSE_AIRTIME_S
+
+MEDIUM_INDEX_ENV = "REPRO_MEDIUM_INDEX"
+_INDEX_OFF = ("0", "off", "false", "no")
+
+DEFAULT_INDEX_CELL_M = 60.0
+"""Grid cell edge — about one attacker radio range, so a broadcast
+query touches a 3×3 block of cells."""
+
+DEFAULT_INDEX_REFRESH_S = 0.5
+"""Maximum staleness of cached station positions.  At walking speeds
+(≤ 3 m/s) this costs at most 1.5 m of query-radius inflation."""
+
+
+def resolve_medium_index(index: Optional[bool] = None) -> bool:
+    """Whether the spatial index is enabled: explicit argument, else
+    ``REPRO_MEDIUM_INDEX`` (default on; ``0/off/false/no`` disable)."""
+    if index is not None:
+        return index
+    return os.environ.get(MEDIUM_INDEX_ENV, "").strip().lower() not in _INDEX_OFF
 
 
 class Station(Protocol):
-    """What the medium requires of anything attached to it."""
+    """What the medium requires of anything attached to it.
+
+    Stations *may* additionally expose ``max_speed_mps`` (metres per
+    second, or None when unbounded); the spatial index only bins
+    stations whose displacement it can bound, and scans the rest.
+    """
 
     mac: MacAddress
 
@@ -64,11 +122,18 @@ class Medium:
         loss_rate: float = 0.0,
         propagation: Optional[Propagation] = None,
         burst_loss: Optional[GilbertElliottParams] = None,
+        index: Optional[bool] = None,
+        index_cell_m: float = DEFAULT_INDEX_CELL_M,
+        index_refresh_s: float = DEFAULT_INDEX_REFRESH_S,
     ):
         if fidelity not in ("frame", "burst"):
             raise ValueError("fidelity must be 'frame' or 'burst', got %r" % fidelity)
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError("loss_rate must be in [0, 1], got %r" % loss_rate)
+        if index_refresh_s < 0:
+            raise ValueError(
+                "index_refresh_s must be non-negative, got %r" % index_refresh_s
+            )
         self.sim = sim
         self.fidelity = fidelity
         self.loss_rate = loss_rate
@@ -84,11 +149,38 @@ class Medium:
             self._burst_loss = GilbertElliottChannel(
                 burst_loss, sim.rngs.stream("faults.channel")
             )
+        deterministic = bool(getattr(self.propagation, "deterministic", False))
+        # With deterministic propagation the "medium" stream's only
+        # consumer is the uniform loss draw, so it can be served from a
+        # bit-identical batched buffer; a stochastic model interleaves
+        # its own draws on the same stream and forbids read-ahead.
+        self._uniform: Optional[BufferedUniform] = (
+            BufferedUniform(self._rng) if deterministic else None
+        )
+        self._index_on = resolve_medium_index(index) and deterministic
+        self._seq: Dict[MacAddress, int] = {}
+        self._seq_next = 0
+        self._grid: Optional[MutableSpatialGrid[MacAddress]] = None
+        self._speeds: Dict[MacAddress, float] = {}
+        self._unindexed: Dict[MacAddress, Station] = {}
+        self._vmax = 0.0
+        self._grid_time = float("-inf")
+        self._refresh_s = index_refresh_s
+        if self._index_on:
+            self._grid = MutableSpatialGrid(index_cell_m)
+        self.index_queries = 0
+        self.index_candidates = 0
+        self.index_refreshes = 0
 
     @property
     def burst_loss(self) -> Optional[GilbertElliottChannel]:
         """The live Gilbert–Elliott chain (None without channel faults)."""
         return self._burst_loss
+
+    @property
+    def index_active(self) -> bool:
+        """Whether broadcast recipients are resolved through the grid."""
+        return self._index_on
 
     # -- membership -------------------------------------------------------
 
@@ -103,16 +195,28 @@ class Medium:
         """
         if tx_range <= 0:
             raise ValueError("tx_range must be positive, got %r" % tx_range)
-        self._stations[station.mac] = station
-        self._ranges[station.mac] = tx_range
+        mac = station.mac
+        if mac not in self._seq:
+            # Dict insertion order is delivery order; a re-attach keeps
+            # its original dict slot, so it keeps its sequence too.
+            self._seq[mac] = self._seq_next
+            self._seq_next += 1
+        self._stations[mac] = station
+        self._ranges[mac] = tx_range
         if promiscuous:
-            self._monitors[station.mac] = station
+            self._monitors[mac] = station
+        if self._index_on:
+            self._index_discard(mac)
+            self._index_add(station)
 
     def detach(self, mac: MacAddress) -> None:
         """Remove a station; unknown MACs are ignored (already gone)."""
         self._stations.pop(mac, None)
         self._ranges.pop(mac, None)
         self._monitors.pop(mac, None)
+        self._seq.pop(mac, None)
+        if self._index_on:
+            self._index_discard(mac)
 
     def is_attached(self, mac: MacAddress) -> bool:
         """Whether a station with this MAC is currently registered."""
@@ -122,6 +226,51 @@ class Medium:
     def station_count(self) -> int:
         """Number of attached stations."""
         return len(self._stations)
+
+    # -- spatial index ----------------------------------------------------
+
+    @staticmethod
+    def _speed_bound(station: Station) -> Optional[float]:
+        bound = getattr(station, "max_speed_mps", None)
+        if bound is None:
+            return None
+        bound = float(bound)
+        if bound < 0 or bound != bound or bound == float("inf"):
+            return None
+        return bound
+
+    def _index_add(self, station: Station) -> None:
+        bound = self._speed_bound(station)
+        if bound is None:
+            self._unindexed[station.mac] = station
+            return
+        self._speeds[station.mac] = bound
+        if bound > self._vmax:
+            self._vmax = bound
+        # Cached now (>= the last refresh time), so the refresh-based
+        # radius inflation also covers stations binned between sweeps.
+        self._grid.insert(station.mac, station.position_at(self.sim.now))
+
+    def _index_discard(self, mac: MacAddress) -> None:
+        self._unindexed.pop(mac, None)
+        if self._speeds.pop(mac, None) is not None:
+            self._grid.remove(mac)
+        # _vmax stays conservative until the next refresh recomputes it.
+
+    def _refresh_index(self, now: float) -> None:
+        if now - self._grid_time < self._refresh_s:
+            return
+        grid = self._grid
+        stations = self._stations
+        vmax = 0.0
+        for mac, bound in self._speeds.items():
+            if bound > 0.0:
+                grid.move(mac, stations[mac].position_at(now))
+                if bound > vmax:
+                    vmax = bound
+        self._vmax = vmax
+        self._grid_time = now
+        self.index_refreshes += 1
 
     # -- propagation ------------------------------------------------------
 
@@ -143,15 +292,56 @@ class Medium:
     def _lost(self) -> bool:
         if self._fault_lost():
             return True
-        return self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+        if self.loss_rate <= 0.0:
+            return False
+        if self._uniform is not None:
+            return self._uniform.next() < self.loss_rate
+        return self._rng.random() < self.loss_rate
+
+    def _broadcast_recipients(self, sender: Station, time: float) -> List[Station]:
+        """Every station (sender excluded) in range, in attach order."""
+        sender_mac = sender.mac
+        reach = self._ranges[sender_mac]
+        pos = sender.position_at(time)
+        delivered = self.propagation.delivered
+        rng = self._rng
+        stations = self._stations
+        if not self._index_on:
+            return [
+                st
+                for mac, st in stations.items()
+                if mac != sender_mac
+                and delivered(pos.distance_to(st.position_at(time)), reach, rng)
+            ]
+        self._refresh_index(time)
+        radius = reach + self._vmax * (time - self._grid_time)
+        macs = self._grid.candidates(pos, radius)
+        if self._unindexed:
+            macs.extend(self._unindexed)
+        # Re-establish attach order so loss draws and receive callbacks
+        # fire in the exact sequence of the brute-force scan.
+        macs.sort(key=self._seq.__getitem__)
+        self.index_queries += 1
+        self.index_candidates += len(macs)
+        out: List[Station] = []
+        for mac in macs:
+            if mac == sender_mac:
+                continue
+            st = stations[mac]
+            if delivered(pos.distance_to(st.position_at(time)), reach, rng):
+                out.append(st)
+        return out
 
     def _recipients(self, sender: Station, frame: Frame, time: float) -> List[Station]:
         if frame.dst != BROADCAST_MAC:
+            # No station code runs while we resolve recipients, so the
+            # live dict views are safe to iterate — the returned list is
+            # the snapshot delivery works from.
             out = []
             target = self._stations.get(frame.dst)
             if target is not None and self._in_range(sender, target, time):
                 out.append(target)
-            for mac, monitor in list(self._monitors.items()):
+            for mac, monitor in self._monitors.items():
                 if (
                     mac != sender.mac
                     and mac != frame.dst
@@ -159,11 +349,7 @@ class Medium:
                 ):
                     out.append(monitor)
             return out
-        return [
-            st
-            for mac, st in list(self._stations.items())
-            if mac != sender.mac and self._in_range(sender, st, time)
-        ]
+        return self._broadcast_recipients(sender, time)
 
     def transmit(
         self,
@@ -218,6 +404,8 @@ class Medium:
         if sender.mac not in self._stations:
             return
         first = responses[0]
+        # Monitors receive *during* iteration and may detach themselves,
+        # so this loop genuinely needs a snapshot of the dict.
         for mac, monitor in list(self._monitors.items()):
             if (
                 mac != sender.mac

@@ -19,6 +19,12 @@ import numpy as np
 class Propagation(Protocol):
     """Decides frame delivery as a function of distance."""
 
+    deterministic: bool
+    """True when :meth:`delivered` never consumes the RNG.  The medium's
+    spatial index may then skip far-away candidates without perturbing
+    the draw sequence; stochastic models force the brute-force scan so
+    every station consumes its draw in attach order."""
+
     def delivered(
         self, distance: float, tx_range: float, rng: np.random.Generator
     ) -> bool:
@@ -28,6 +34,8 @@ class Propagation(Protocol):
 
 class DiscPropagation:
     """Deterministic unit-disc coverage: in range = delivered."""
+
+    deterministic = True
 
     def delivered(
         self, distance: float, tx_range: float, rng: np.random.Generator
@@ -48,6 +56,8 @@ class LogDistanceShadowing:
     At ``d = tx_range`` delivery is a coin flip; well inside it is
     near-certain; the transition width scales with ``sigma / n``.
     """
+
+    deterministic = False
 
     def __init__(self, exponent: float = 3.0, sigma_db: float = 4.0):
         if exponent <= 0:

@@ -1,0 +1,73 @@
+"""The canonical golden-equivalence batch.
+
+A small, fixed set of runs — two attackers, two venue profiles, one
+fault-injected run — whose merged metrics digest is committed as a
+repository fixture (``tests/data/golden_metrics.digest``).  The golden
+tests assert the digest is reproduced
+
+* at any ``REPRO_WORKERS`` value (merge is spec-order, not
+  scheduling-order);
+* with the medium's spatial index on *and* off (the index is a pure
+  accelerator);
+
+so any change that moves simulation behaviour — intentional or not —
+shows up as a reviewable per-section diff, not a silent drift.
+Regenerate the fixture with ``python tests/regen_golden.py`` after an
+intentional change.
+
+Durations are short (5 simulated minutes) to keep the batch affordable
+in CI while still crossing every hot path: probe/response bursts, hits,
+adaptation, Gilbert–Elliott channel faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.parallel import (
+    RunResult,
+    RunSpec,
+    metrics_doc,
+    resolve_workers,
+    run_specs,
+)
+from repro.faults.plan import FaultPlan, GilbertElliottParams
+
+GOLDEN_DURATION_S = 300.0
+
+
+def golden_specs() -> List[RunSpec]:
+    """The fixed batch; any edit here requires regenerating the fixture."""
+    return [
+        RunSpec(
+            attacker="cityhunter",
+            venue="canteen",
+            seed=101,
+            duration=GOLDEN_DURATION_S,
+            tag="golden-cityhunter-canteen",
+        ),
+        RunSpec(
+            attacker="karma",
+            venue="passage",
+            seed=202,
+            duration=GOLDEN_DURATION_S,
+            tag="golden-karma-passage",
+        ),
+        RunSpec(
+            attacker="cityhunter",
+            venue="passage",
+            seed=303,
+            duration=GOLDEN_DURATION_S,
+            tag="golden-cityhunter-faults",
+            faults=FaultPlan(channel=GilbertElliottParams()),
+        ),
+    ]
+
+
+def run_golden(workers: Optional[int] = None) -> dict:
+    """Run the golden batch and return its metrics artefact document."""
+    results: List[RunResult] = run_specs(
+        golden_specs(), workers=workers, timings_name="golden_timings",
+        metrics_name="golden_metrics",
+    )
+    return metrics_doc(results, workers=resolve_workers(workers))

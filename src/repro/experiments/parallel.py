@@ -77,6 +77,7 @@ from repro.analysis.breakdown import (
 )
 from repro.analysis.metrics import SessionSummary, summarize
 from repro.core.config import CityHunterConfig
+from repro.dot11.medium import resolve_medium_index
 from repro.experiments.attackers import ATTACKER_NAMES, make_attacker
 from repro.experiments.calibration import default_city, venue_profile
 from repro.experiments.runner import run_experiment, shared_wigle
@@ -876,21 +877,17 @@ def _spec_venue(spec: RunSpec) -> Optional[str]:
     )
 
 
-def write_metrics(
-    results: Sequence[RunResult],
-    workers: int,
-    name: str = "metrics",
-) -> Optional[pathlib.Path]:
-    """Persist the batch metrics artefact; returns its path.
+def metrics_doc(results: Sequence[RunResult], workers: int) -> dict:
+    """Assemble the batch metrics artefact as a plain dict.
 
     The document carries the merged registry plus one entry per run
     (tag, seed, snapshot, retained events) so per-run timelines — the
     PB/FB series in particular — survive next to the aggregate.  Failed
     runs keep their slot with an empty snapshot and an ``error`` field.
-    Set ``REPRO_METRICS=0`` to disable.
+    Everything except ``workers`` and the ``timers`` sections is a pure
+    function of the specs — the property the golden-master tests pin
+    (see :mod:`repro.obs.golden`).
     """
-    if os.environ.get(METRICS_ENV, "1").strip() in ("0", "false", "off"):
-        return None
     runs = []
     for r in results:
         entry = {
@@ -910,13 +907,27 @@ def write_metrics(
             entry["failure_kind"] = r.kind
             entry["attempts"] = r.attempts
         runs.append(entry)
-    doc = {
+    return {
         "schema": METRICS_SCHEMA,
         "workers": workers,
         "run_count": len(results),
         "merged": merged_metrics(results),
         "runs": runs,
     }
+
+
+def write_metrics(
+    results: Sequence[RunResult],
+    workers: int,
+    name: str = "metrics",
+) -> Optional[pathlib.Path]:
+    """Persist :func:`metrics_doc` as an artefact; returns its path.
+
+    Set ``REPRO_METRICS=0`` to disable.
+    """
+    if os.environ.get(METRICS_ENV, "1").strip() in ("0", "false", "off"):
+        return None
+    doc = metrics_doc(results, workers)
     ensure_artifact_dir()
     path = metrics_path(name)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -961,6 +972,7 @@ def write_timings(
         runs.append(entry)
     doc = {
         "workers": workers,
+        "medium_index": resolve_medium_index(),
         "run_count": len(results),
         "failed_count": len(results) - len(completed),
         "cache_build_s": round(cache_build, 4),

@@ -17,16 +17,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.faults.plan import GilbertElliottParams
+from repro.util.rng import BufferedUniform
 
 
 class GilbertElliottChannel:
-    """Mutable chain state plus loss bookkeeping for one run."""
+    """Mutable chain state plus loss bookkeeping for one run.
 
-    __slots__ = ("params", "_rng", "bad", "attempts", "losses")
+    The chain is this stream's sole consumer, so its uniform draws are
+    served from a :class:`~repro.util.rng.BufferedUniform` block —
+    bit-identical values in the same order, at a fraction of the
+    per-call generator overhead on the frame-delivery hot path.
+    """
+
+    __slots__ = ("params", "_rng", "_uniform", "bad", "attempts", "losses")
 
     def __init__(self, params: GilbertElliottParams, rng: np.random.Generator):
         self.params = params
         self._rng = rng
+        self._uniform = BufferedUniform(rng)
         self.bad = False
         self.attempts = 0
         self.losses = 0
@@ -34,15 +42,16 @@ class GilbertElliottChannel:
     def lost(self) -> bool:
         """Advance the chain one delivery attempt; True drops the frame."""
         p = self.params
+        draw = self._uniform.next
         if self.bad:
-            if self._rng.random() < p.p_good:
+            if draw() < p.p_good:
                 self.bad = False
         else:
-            if self._rng.random() < p.p_bad:
+            if draw() < p.p_bad:
                 self.bad = True
         self.attempts += 1
         loss_p = p.loss_bad if self.bad else p.loss_good
-        dropped = loss_p > 0.0 and self._rng.random() < loss_p
+        dropped = loss_p > 0.0 and draw() < loss_p
         if dropped:
             self.losses += 1
         return dropped

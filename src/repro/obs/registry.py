@@ -157,6 +157,15 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         self._counters[key] = self._counters.get(key, 0) + value
 
+    def inc_key(self, key: str, value: float = 1) -> None:
+        """:meth:`inc` for a pre-computed :func:`metric_key`.
+
+        Hot paths that hit the same labelled counter thousands of times
+        per simulated second cache the flat key once instead of paying
+        ``json.dumps`` on every increment.  Semantically identical to
+        :meth:`inc` with the same (name, labels)."""
+        self._counters[key] = self._counters.get(key, 0) + value
+
     def gauge_set(self, name: str, value: float, **labels: object) -> None:
         """Set a gauge to its latest value."""
         self._gauges[metric_key(name, labels)] = value

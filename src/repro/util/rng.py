@@ -73,3 +73,37 @@ class RngRegistry:
     def child(self, name: str) -> "RngRegistry":
         """Derive a whole child registry, e.g. one per repeated trial."""
         return RngRegistry(derive_seed(self._seed, name))
+
+
+class BufferedUniform:
+    """Batched uniform draws, bit-identical to scalar ``rng.random()``.
+
+    ``Generator.random(size=n)`` consumes the underlying bit stream
+    exactly like ``n`` scalar ``random()`` calls, so serving scalars out
+    of a refilled block yields the *same values in the same order* while
+    amortising the per-call generator overhead — the medium's per-frame
+    loss draws are the hot consumer.
+
+    Only safe for a stream with a single consumer: refilling draws ahead
+    of demand, so interleaving other draw kinds on the same generator
+    would observe an advanced stream state.
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator, block: int = 256):
+        if block < 1:
+            raise ValueError("block size must be >= 1, got %r" % block)
+        self._rng = rng
+        self._block = block
+        self._buf = None  # filled on first draw: idle consumers cost nothing
+        self._pos = block
+
+    def next(self) -> float:
+        """The next uniform [0, 1) draw from the wrapped stream."""
+        if self._pos >= self._block:
+            self._buf = self._rng.random(self._block)
+            self._pos = 0
+        value = self._buf[self._pos]
+        self._pos += 1
+        return value

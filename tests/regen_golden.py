@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Regenerate the golden-master metrics fixture.
+
+Run after an *intentional* simulation-behaviour change::
+
+    PYTHONPATH=src python tests/regen_golden.py
+
+Rewrites ``tests/data/golden_metrics.json`` (the canonical metrics
+document of the batch in :mod:`repro.experiments.golden`, serial run)
+and ``tests/data/golden_metrics.digest`` (its SHA-256).  Commit both
+together with the change that moved them, and say why in the message —
+the whole point of the fixture is that drift is loud and reviewed.
+"""
+
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+DATA_DIR = pathlib.Path(__file__).resolve().parent / "data"
+DOC_PATH = DATA_DIR / "golden_metrics.json"
+DIGEST_PATH = DATA_DIR / "golden_metrics.digest"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        # Keep the batch's own artefacts out of benchmarks/out.
+        os.environ["REPRO_ARTIFACT_DIR"] = scratch
+        os.environ.pop("REPRO_MEDIUM_INDEX", None)
+        from repro.experiments.golden import run_golden
+        from repro.obs.golden import canonical_metrics_doc, metrics_digest
+
+        doc = run_golden(workers=1)
+    canonical = canonical_metrics_doc(doc)
+    digest = metrics_digest(doc)
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    DOC_PATH.write_text(json.dumps(canonical, indent=2, sort_keys=True) + "\n")
+    DIGEST_PATH.write_text(digest + "\n")
+    print(f"wrote {DOC_PATH}")
+    print(f"wrote {DIGEST_PATH}: {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
