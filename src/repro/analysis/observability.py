@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import pathlib
 from collections import Counter
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.obs.registry import parse_key, validate_metrics_doc
 from repro.sim.tracing import Trace
@@ -107,6 +107,61 @@ def run_events(doc: dict) -> List[Dict[str, object]]:
         for event in run.get("events", []):
             out.append({"run": run.get("tag", ""), **event})
     return out
+
+
+def filter_events(
+    events: List[Dict[str, object]],
+    kind: Optional[str] = None,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Narrow an event list by kind and/or sim-time window.
+
+    ``since``/``until`` bound the half-open window ``[since, until)`` on
+    each event's ``time`` field (events without one are kept only when
+    no window is given) — the ``repro obs events --kind/--since/--until``
+    filters.
+    """
+    out = []
+    for event in events:
+        if kind is not None and event.get("kind") != kind:
+            continue
+        if since is not None or until is not None:
+            t = event.get("time")
+            if t is None:
+                continue
+            t = float(t)
+            if since is not None and t < since:
+                continue
+            if until is not None and t >= until:
+                continue
+        out.append(event)
+    return out
+
+
+def sink_status(doc: dict) -> Dict[str, float]:
+    """Trace/event-ring totals across a batch's runs.
+
+    Sums ``trace.records``/``trace.dropped`` and
+    ``events.buffered``/``events.dropped`` over per-run gauges, and
+    reports the ring caps (``trace.cap``/``events.cap`` — merged gauges
+    take the max, which is the shared configuration value).  Runs from
+    artefacts predating the cap gauges simply contribute zeros.
+    """
+    totals = {
+        "trace.records": 0.0,
+        "trace.dropped": 0.0,
+        "events.buffered": 0.0,
+        "events.dropped": 0.0,
+    }
+    for run in doc.get("runs", []):
+        gauges = run.get("metrics", {}).get("gauges", {})
+        for key in totals:
+            totals[key] += float(gauges.get(key, 0))
+    merged_gauges = doc.get("merged", {}).get("gauges", {})
+    totals["trace.cap"] = float(merged_gauges.get("trace.cap", 0))
+    totals["events.cap"] = float(merged_gauges.get("events.cap", 0))
+    return totals
 
 
 def trace_window_counts(

@@ -79,6 +79,7 @@ class RogueAp:
         self.sim: Optional[Simulation] = None
         self.outages: Optional[OutageSchedule] = None
         self._sent_keys: Dict[Tuple[str, str], str] = {}
+        self._lineage = None
 
     # -- Station protocol ------------------------------------------------------
 
@@ -89,6 +90,7 @@ class RogueAp:
     def start(self, sim: Simulation) -> None:
         """Entity hook: attach to the medium."""
         self.sim = sim
+        self._lineage = sim.lineage if sim.lineage.enabled else None
         self.medium.attach(self, self.tx_range)
         if self.outages is not None and len(self.outages):
             sim.metrics.inc("faults.outages", len(self.outages))
@@ -179,6 +181,19 @@ class RogueAp:
                 self._count_hit(record)
                 if self.sim is not None:
                     self.sim.emit("hit", frame.src, frame.ssid)
+                if self._lineage is not None:
+                    # Parent defaults to the current delivery context, so
+                    # the hit chains back through the AssocRequest to the
+                    # probe response that advertised the SSID.
+                    self._lineage.event(
+                        time,
+                        "hit",
+                        self.mac,
+                        client=frame.src,
+                        ssid=frame.ssid,
+                        origin=record.hit_origin,
+                        bucket=record.hit_bucket,
+                    )
             self.medium.transmit(
                 self, AssocResponse(self.mac, frame.src, frame.ssid, True)
             )
@@ -220,9 +235,30 @@ class RogueAp:
             ProbeResponse(self.mac, client, meta.ssid, Security.OPEN)
             for meta in metas
         ]
-        self.medium.transmit_response_burst(
-            self, responses, self.timing.response_airtime
+        lineage = self._lineage
+        if lineage is None:
+            self.medium.transmit_response_burst(
+                self, responses, self.timing.response_airtime
+            )
+            return
+        # The selection record carries each candidate's PB/FB/ghost bucket
+        # and provenance; pushing it makes every response in the burst a
+        # child, so the story reads probe -> selection -> responses.
+        ctx = lineage.event(
+            time,
+            "burst_select",
+            self.mac,
+            client=client,
+            size=len(metas),
+            candidates=[
+                {"ssid": m.ssid, "bucket": m.bucket, "origin": m.origin}
+                for m in metas
+            ],
         )
+        with lineage.push(ctx):
+            self.medium.transmit_response_burst(
+                self, responses, self.timing.response_airtime
+            )
 
     def _count_sent(self, metas: Sequence[SentSsid]) -> None:
         """Metric bookkeeping for one outgoing response burst.

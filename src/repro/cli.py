@@ -10,7 +10,10 @@ any code:
 * ``report``   — regenerate everything and check every paper target;
 * ``city``     — print synthetic-city statistics and the heat map;
 * ``obs``      — inspect a ``metrics.json`` artefact (summarize /
-  export events as JSONL / top-N SSIDs by hits).
+  export events as JSONL / top-N SSIDs by hits), reconstruct a client's
+  hunt story from a lineage trace, render the hot-handler profile,
+  watch live worker heartbeats, or gate a benchmark against its
+  committed baseline (see OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -55,20 +58,32 @@ def _load_fault_plan(path: Optional[str]):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import os
+
     city = default_city(args.city_seed)
     wigle = shared_wigle(args.city_seed)
     profile = venue_profile(args.venue)
     faults = _load_fault_plan(args.fault_plan)
-    result = run_experiment(
-        city,
-        wigle,
-        make_attacker(args.attacker, city, wigle, faults=faults),
-        profile,
-        duration=args.duration,
-        seed=args.seed,
-        fidelity=args.fidelity,
-        faults=faults,
-    )
+    saved_lineage = os.environ.get("REPRO_LINEAGE")
+    if args.lineage_out:
+        os.environ["REPRO_LINEAGE"] = "1"
+    try:
+        result = run_experiment(
+            city,
+            wigle,
+            make_attacker(args.attacker, city, wigle, faults=faults),
+            profile,
+            duration=args.duration,
+            seed=args.seed,
+            fidelity=args.fidelity,
+            faults=faults,
+        )
+    finally:
+        if args.lineage_out:
+            if saved_lineage is None:
+                os.environ.pop("REPRO_LINEAGE", None)
+            else:
+                os.environ["REPRO_LINEAGE"] = saved_lineage
     print(
         render_table(
             ["Attack", "Total probes", "Direct/Broadcast", "Clients connected",
@@ -86,6 +101,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.json, "w") as f:
             f.write(session_to_json(result.session, label=args.attacker))
         print(f"summary written to {args.json}")
+    if args.lineage_out:
+        from repro.obs.lineage import write_chrome_trace
+
+        lineage = result.attacker.sim.lineage
+        write_chrome_trace(lineage.records(), args.lineage_out)
+        print(
+            f"{len(lineage)} lineage records "
+            f"({lineage.dropped} dropped) written to {args.lineage_out} "
+            "(Chrome trace-event JSON; open in Perfetto)"
+        )
     return 0
 
 
@@ -169,10 +194,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis.observability import (
+        filter_events,
         load_metrics,
         pbfb_timeline,
         provenance_breakdown,
         run_events,
+        sink_status,
         top_hit_ssids,
     )
     from repro.obs.artifacts import artifact_path
@@ -214,15 +241,44 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             ))
         swaps = sum(len(pbfb_timeline(r["metrics"])) for r in doc["runs"])
         print(f"  PB/FB timeline points across runs: {swaps}")
-        drops = sum(
-            r["metrics"].get("gauges", {}).get("events.dropped", 0)
-            for r in doc["runs"]
+        status = sink_status(doc)
+        trace_cap = (
+            f"cap {status['trace.cap']:g}" if status["trace.cap"] else "cap ?"
         )
-        print(f"  event-ring drops across runs: {drops:g}")
+        events_cap = (
+            f"cap {status['events.cap']:g}"
+            if status["events.cap"]
+            else "cap ?"
+        )
+        trace_note = (
+            "  <- TRUNCATED (raise REPRO_TRACE_MAX)"
+            if status["trace.dropped"]
+            else ""
+        )
+        events_note = (
+            "  <- TRUNCATED (oldest events evicted)"
+            if status["events.dropped"]
+            else ""
+        )
+        print(
+            f"  trace ring: {status['trace.records']:g} records, "
+            f"{status['trace.dropped']:g} dropped ({trace_cap} per run)"
+            f"{trace_note}"
+        )
+        print(
+            f"  event sink: {status['events.buffered']:g} buffered, "
+            f"{status['events.dropped']:g} dropped ({events_cap} per run)"
+            f"{events_note}"
+        )
         return 0
 
     if args.action == "events":
-        events = run_events(doc)
+        events = filter_events(
+            run_events(doc),
+            kind=args.kind,
+            since=args.since,
+            until=args.until,
+        )
         if args.jsonl:
             with open(args.jsonl, "w") as f:
                 for event in events:
@@ -247,6 +303,101 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled obs action {args.action!r}")
 
 
+def _cmd_obs_lineage(args: argparse.Namespace) -> int:
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.lineage import hunt_story, load_chrome_trace
+
+    path = args.trace or artifact_path("lineage")
+    try:
+        records = load_chrome_trace(path)
+    except FileNotFoundError:
+        print(
+            f"no lineage trace at {path} (run with --lineage-out or "
+            "REPRO_LINEAGE=1 first, or pass --trace)",
+            file=sys.stderr,
+        )
+        return 1
+    except ValueError as exc:
+        print(f"invalid lineage trace {path}: {exc}", file=sys.stderr)
+        return 1
+    print(hunt_story(records, args.mac))
+    return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.profiler import (
+        load_profile,
+        render_hot_table,
+        write_collapsed,
+    )
+
+    path = args.path or artifact_path("profile")
+    try:
+        doc = load_profile(path)
+    except FileNotFoundError:
+        print(
+            f"no profile artefact at {path} (run with REPRO_PROFILE=1 "
+            "first, or pass --path)",
+            file=sys.stderr,
+        )
+        return 1
+    except ValueError as exc:
+        print(f"invalid profile artefact {path}: {exc}", file=sys.stderr)
+        return 1
+    print(render_hot_table(doc, top=args.count))
+    if args.collapsed:
+        write_collapsed(doc, args.collapsed)
+        print(
+            f"collapsed stacks written to {args.collapsed} "
+            "(feed to flamegraph.pl or speedscope)"
+        )
+    return 0
+
+
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.telemetry import (
+        heartbeat_dir,
+        render_watch,
+        watch_snapshot,
+    )
+
+    directory = args.dir or heartbeat_dir()
+    while True:
+        rows = watch_snapshot(directory, stall_after_s=args.stall_after)
+        print(render_watch(rows, args.stall_after))
+        if args.once:
+            return 1 if any(r["stalled"] for r in rows) else 0
+        time.sleep(args.interval)
+        print()
+
+
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        append_trajectory,
+        compare_bench,
+        load_bench_doc,
+        render_bench_report,
+    )
+
+    try:
+        current = load_bench_doc(args.current)
+        baseline = load_bench_doc(args.baseline)
+        report = compare_bench(
+            current, baseline, tolerance=args.tolerance
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+    print(render_bench_report(report))
+    if args.trajectory:
+        append_trajectory(args.trajectory, report)
+        print(f"trajectory appended to {args.trajectory}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -267,6 +418,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "inject channel/outage/WiGLE faults")
     run.add_argument("--csv", help="write per-client records to this file")
     run.add_argument("--json", help="write the summary document to this file")
+    run.add_argument(
+        "--lineage-out",
+        metavar="PATH",
+        help="enable causal lineage tracing and write the run's Chrome "
+             "trace-event JSON here (view in Perfetto; query with "
+             "'repro obs lineage')",
+    )
     run.set_defaults(func=_cmd_run)
 
     table = sub.add_parser("table", help="regenerate a table of the paper")
@@ -309,6 +467,17 @@ def build_parser() -> argparse.ArgumentParser:
     obs_events.add_argument(
         "--jsonl", help="write events here instead of stdout"
     )
+    obs_events.add_argument(
+        "--kind", help="only events of this kind (e.g. fault.outage)"
+    )
+    obs_events.add_argument(
+        "--since", type=float, metavar="T",
+        help="only events with sim time >= T seconds",
+    )
+    obs_events.add_argument(
+        "--until", type=float, metavar="T",
+        help="only events with sim time < T seconds",
+    )
     obs_top = obs_sub.add_parser(
         "top-ssids", help="top-N SSIDs by recorded hits"
     )
@@ -320,6 +489,75 @@ def build_parser() -> argparse.ArgumentParser:
                  "resolved artefact directory)",
         )
         obs_parser.set_defaults(func=_cmd_obs)
+
+    obs_lineage = obs_sub.add_parser(
+        "lineage",
+        help="print one client's hunt story from a lineage trace file",
+    )
+    obs_lineage.add_argument("mac", help="client MAC address")
+    obs_lineage.add_argument(
+        "--trace",
+        help="Chrome trace-event JSON written by 'repro run --lineage-out' "
+             "(default: lineage.json in the resolved artefact directory)",
+    )
+    obs_lineage.set_defaults(func=_cmd_obs_lineage)
+
+    obs_profile = obs_sub.add_parser(
+        "profile", help="hot-handler table from a profile artefact"
+    )
+    obs_profile.add_argument(
+        "--path",
+        help="profile artefact to read (default: profile.json in the "
+             "resolved artefact directory; produced under REPRO_PROFILE=1)",
+    )
+    obs_profile.add_argument("-n", "--count", type=int, default=15)
+    obs_profile.add_argument(
+        "--collapsed", metavar="PATH",
+        help="also write flamegraph-ready collapsed stacks here",
+    )
+    obs_profile.set_defaults(func=_cmd_obs_profile)
+
+    obs_watch = obs_sub.add_parser(
+        "watch", help="tail live worker heartbeats and flag stalls"
+    )
+    obs_watch.add_argument(
+        "--dir",
+        help="telemetry directory (default: telemetry/ in the resolved "
+             "artefact directory)",
+    )
+    obs_watch.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (status 1 when stalled)",
+    )
+    obs_watch.add_argument(
+        "--stall-after", type=float, default=60.0, metavar="S",
+        help="flag a worker silent for more than S seconds (default 60)",
+    )
+    obs_watch.add_argument(
+        "--interval", type=float, default=5.0, metavar="S",
+        help="refresh period in follow mode (default 5)",
+    )
+    obs_watch.set_defaults(func=_cmd_obs_watch)
+
+    obs_bench = obs_sub.add_parser(
+        "bench", help="gate a benchmark artefact against its baseline"
+    )
+    obs_bench.add_argument(
+        "--current", required=True, help="freshly produced BENCH_*.json"
+    )
+    obs_bench.add_argument(
+        "--baseline", required=True,
+        help="committed baseline (benchmarks/baselines/BENCH_*.json)",
+    )
+    obs_bench.add_argument(
+        "--tolerance", type=float, default=0.05, metavar="FRAC",
+        help="allowed fractional regression (default 0.05 = 5%%)",
+    )
+    obs_bench.add_argument(
+        "--trajectory", metavar="PATH",
+        help="append the comparison to this JSONL trajectory artefact",
+    )
+    obs_bench.set_defaults(func=_cmd_obs_bench)
 
     city = sub.add_parser("city", help="inspect the synthetic city")
     city.add_argument("--city-seed", type=int, default=42)

@@ -77,6 +77,7 @@ class Phone:
         self._assoc_target: Optional[MacAddress] = None
         self._scan_event = None
         self._interval = 0.0
+        self._lineage = None
 
     # -- Station protocol ---------------------------------------------------
 
@@ -97,6 +98,7 @@ class Phone:
     def start(self, sim: Simulation) -> None:
         """Entity hook: attach to the medium and schedule the lifecycle."""
         self.sim = sim
+        self._lineage = sim.lineage if sim.lineage.enabled else None
         self._rng: np.random.Generator = sim.rngs.stream("phones")
         self.medium.attach(self, self.tx_range)
         self._interval = self.scan_profile.draw_interval(self._rng)
@@ -203,7 +205,15 @@ class Phone:
         self.state = Phone.ASSOCIATING
         self._assoc_target = response.src
         self._assoc_ssid = response.ssid
-        self.medium.transmit(self, AuthRequest(self.mac, response.src))
+        lineage = self._lineage
+        if lineage is None:
+            self.medium.transmit(self, AuthRequest(self.mac, response.src))
+        else:
+            # _finish_scan runs as its own event, so the delivery context
+            # is long gone; re-anchor the handshake to the probe response
+            # the phone actually chose.
+            with lineage.push(lineage.frame_ctx(response)):
+                self.medium.transmit(self, AuthRequest(self.mac, response.src))
         self.sim.at(self.scan_profile.assoc_timeout, self._assoc_timeout)
 
     def _assoc_timeout(self) -> None:
@@ -233,6 +243,14 @@ class Phone:
                     self.state = Phone.CONNECTED
                     self.connected_bssid = frame.src
                     self.connected_ssid = frame.ssid
+                    if self._lineage is not None:
+                        self._lineage.event(
+                            time,
+                            "connected",
+                            self.mac,
+                            bssid=frame.src,
+                            ssid=frame.ssid,
+                        )
         elif isinstance(frame, Beacon):
             self._handle_beacon(frame)
         elif isinstance(frame, Deauth):

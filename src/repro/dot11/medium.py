@@ -60,7 +60,8 @@ bit-identical recipient sets, loss draws and run metrics.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Protocol, Sequence
+from contextlib import nullcontext
+from typing import ContextManager, Dict, List, Optional, Protocol, Sequence
 
 from repro.dot11.frames import Frame, ProbeResponse
 from repro.dot11.mac import BROADCAST_MAC, MacAddress
@@ -144,6 +145,9 @@ class Medium:
         self._rng = sim.rngs.stream("medium")
         self.frames_delivered = 0
         self.fault_frames_lost = 0
+        # Cached once: the lineage branch must cost a single falsy check
+        # on the hot path when tracing is off.
+        self._lineage = sim.lineage if sim.lineage.enabled else None
         self._burst_loss: Optional[GilbertElliottChannel] = None
         if burst_loss is not None:
             self._burst_loss = GilbertElliottChannel(
@@ -362,17 +366,34 @@ class Medium:
         Recipients are resolved at *delivery* time so a walker that left
         range mid-flight genuinely misses the frame.
         """
+        if self._lineage is not None:
+            self._lineage.frame_sent(self.sim.now, frame, sender.mac)
         self.sim.at(airtime, self._deliver, sender, frame)
 
     def _deliver(self, sender: Station, frame: Frame) -> None:
         now = self.sim.now
         if sender.mac not in self._stations:
             return  # sender departed while the frame was in flight
+        lineage = self._lineage
         for station in self._recipients(sender, frame, now):
+            # The loss draw must stay first so the RNG sequence is
+            # byte-identical with lineage on or off.
             if self._lost():
+                if lineage is not None:
+                    lineage.event(
+                        now,
+                        "lost",
+                        station.mac,
+                        parent=lineage.frame_ctx(frame),
+                    )
                 continue
             self.frames_delivered += 1
-            station.receive(frame, now)
+            if lineage is None:
+                station.receive(frame, now)
+            else:
+                ctx = lineage.delivered(now, frame, station.mac)
+                with lineage.push(ctx):
+                    station.receive(frame, now)
 
     # -- probe-response bursts -------------------------------------------
 
@@ -391,6 +412,10 @@ class Medium:
         """
         if not responses:
             return
+        if self._lineage is not None:
+            now = self.sim.now
+            for resp in responses:
+                self._lineage.frame_sent(now, resp, sender.mac)
         if self.fidelity == "frame":
             for i, resp in enumerate(responses):
                 self.sim.at((i + 1) * spacing, self._deliver, sender, resp)
@@ -424,11 +449,28 @@ class Medium:
             responses = [r for r in responses if not self._fault_lost()]
             if not responses:
                 return
+        lineage = self._lineage
+        if lineage is None:
+            scope: ContextManager = nullcontext()
+        else:
+            # One record per burst, not per response, keeps overhead flat;
+            # the chain still closes because it parents to the first
+            # response's transmission.
+            scope = lineage.push(
+                lineage.event(
+                    now,
+                    "rx:burst",
+                    target.mac,
+                    parent=lineage.frame_ctx(first),
+                    size=len(responses),
+                )
+            )
         receive_burst = getattr(target, "receive_burst", None)
-        if receive_burst is not None:
-            self.frames_delivered += len(responses)
-            receive_burst(responses, now, spacing)
-            return
-        for resp in responses:  # fall back to per-frame delivery
-            self.frames_delivered += 1
-            target.receive(resp, now)
+        with scope:
+            if receive_burst is not None:
+                self.frames_delivered += len(responses)
+                receive_burst(responses, now, spacing)
+                return
+            for resp in responses:  # fall back to per-frame delivery
+                self.frames_delivered += 1
+                target.receive(resp, now)

@@ -80,7 +80,11 @@ from repro.core.config import CityHunterConfig
 from repro.dot11.medium import resolve_medium_index
 from repro.experiments.attackers import ATTACKER_NAMES, make_attacker
 from repro.experiments.calibration import default_city, venue_profile
-from repro.experiments.runner import run_experiment, shared_wigle
+from repro.experiments.runner import (
+    run_experiment,
+    session_progress,
+    shared_wigle,
+)
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.faults.chaos import InjectedWorkerCrash, mark_pool_worker, maybe_crash
 from repro.faults.plan import FaultPlan
@@ -89,11 +93,13 @@ from repro.obs.artifacts import (
     artifact_path,
     ensure_artifact_dir,
 )
+from repro.obs.profiler import merge_profiles
 from repro.obs.registry import (
     METRICS_SCHEMA,
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.telemetry import maybe_heartbeat, set_current_spec
 from repro.population.groups import GroupModel
 from repro.population.pnl import PnlModel
 from repro.util.rng import derive_seed
@@ -196,6 +202,10 @@ class RunSummary:
     """Wall seconds this process spent building (or fetching) the
     city/WiGLE caches before the run — kept out of ``wall_time`` so a
     cold-cache worker does not report an inflated run wall."""
+
+    profile: Optional[dict] = None
+    """Per-handler profiler snapshot (``repro.profile/v1``) when
+    ``REPRO_PROFILE`` was on for the run, else None."""
 
     @property
     def failed(self) -> bool:
@@ -405,6 +415,7 @@ def _summary_to_doc(result: RunSummary) -> dict:
         "cache_wall_time": result.cache_wall_time,
         "metrics": result.metrics,
         "events": list(result.events),
+        "profile": result.profile,
     }
 
 
@@ -421,6 +432,7 @@ def _summary_from_doc(spec: RunSpec, doc: dict) -> RunSummary:
         metrics=doc.get("metrics"),
         events=tuple(doc.get("events", ())),
         cache_wall_time=doc.get("cache_wall_time", 0.0),
+        profile=doc.get("profile"),
     )
 
 
@@ -506,13 +518,19 @@ def execute_spec(spec: RunSpec) -> RunSummary:
         spec.attacker, city, wigle, config=spec.attacker_config,
         use_heat=spec.use_heat, faults=spec.faults,
     )
+    set_current_spec(
+        spec.tag or "%s/%s:%d" % (spec.attacker, _spec_venue(spec), spec.seed)
+    )
     start = time.perf_counter()
     if spec.scenario is not None:
         scenario = spec.scenario
         if spec.faults is not None and scenario.faults is None:
             scenario = replace(scenario, faults=spec.faults)
         build = build_scenario(city, wigle, scenario, factory)
-        build.sim.run(scenario.duration + spec.run_extra)
+        with maybe_heartbeat(
+            None, scenario.duration, session_progress(build)
+        ):
+            build.sim.run(scenario.duration + spec.run_extra)
         sim = build.sim
         session = build.attacker.session
         summary = summarize(session)
@@ -540,6 +558,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
         people = result.people_spawned
         duration = result.duration
     wall = time.perf_counter() - start
+    set_current_spec(None)
     sim.metrics.inc("run.count")
     sim.metrics.inc("run.people_spawned", people)
     sim.metrics.inc("run.sim_duration_s", duration)
@@ -557,6 +576,9 @@ def execute_spec(spec: RunSpec) -> RunSummary:
         metrics=sim.metrics.to_dict(),
         events=tuple(sim.events),
         cache_wall_time=cache_wall,
+        profile=(
+            sim.profiler.to_dict() if sim.profiler is not None else None
+        ),
     )
 
 
@@ -639,9 +661,15 @@ def run_specs(
 
     final: List[RunResult] = [r for r in results if r is not None]
     assert len(final) == len(specs)
+    batch_timings = timings_doc(
+        final, workers=used, total_wall=total_wall, cache_build=cache_wall
+    )
     write_timings(final, workers=used, total_wall=total_wall,
-                  name=timings_name, cache_build=cache_wall)
-    write_metrics(final, workers=used, name=metrics_name)
+                  name=timings_name, doc=batch_timings)
+    write_metrics(
+        final, workers=used, name=metrics_name, timings=batch_timings
+    )
+    write_batch_profile(final)
     return final
 
 
@@ -877,14 +905,22 @@ def _spec_venue(spec: RunSpec) -> Optional[str]:
     )
 
 
-def metrics_doc(results: Sequence[RunResult], workers: int) -> dict:
+def metrics_doc(
+    results: Sequence[RunResult],
+    workers: int,
+    timings: Optional[dict] = None,
+) -> dict:
     """Assemble the batch metrics artefact as a plain dict.
 
     The document carries the merged registry plus one entry per run
     (tag, seed, snapshot, retained events) so per-run timelines — the
     PB/FB series in particular — survive next to the aggregate.  Failed
     runs keep their slot with an empty snapshot and an ``error`` field.
-    Everything except ``workers`` and the ``timers`` sections is a pure
+    When ``timings`` is given (the :func:`timings_doc` of the same
+    batch) it is embedded under a ``timings`` key, so one artefact
+    carries the full run record; ``timings.json`` is still written
+    separately for backward compatibility.  Everything except
+    ``workers``, the ``timers`` sections and ``timings`` is a pure
     function of the specs — the property the golden-master tests pin
     (see :mod:`repro.obs.golden`).
     """
@@ -907,19 +943,23 @@ def metrics_doc(results: Sequence[RunResult], workers: int) -> dict:
             entry["failure_kind"] = r.kind
             entry["attempts"] = r.attempts
         runs.append(entry)
-    return {
+    doc = {
         "schema": METRICS_SCHEMA,
         "workers": workers,
         "run_count": len(results),
         "merged": merged_metrics(results),
         "runs": runs,
     }
+    if timings is not None:
+        doc["timings"] = timings
+    return doc
 
 
 def write_metrics(
     results: Sequence[RunResult],
     workers: int,
     name: str = "metrics",
+    timings: Optional[dict] = None,
 ) -> Optional[pathlib.Path]:
     """Persist :func:`metrics_doc` as an artefact; returns its path.
 
@@ -927,30 +967,27 @@ def write_metrics(
     """
     if os.environ.get(METRICS_ENV, "1").strip() in ("0", "false", "off"):
         return None
-    doc = metrics_doc(results, workers)
+    doc = metrics_doc(results, workers, timings=timings)
     ensure_artifact_dir()
     path = metrics_path(name)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return path
 
 
-def write_timings(
+def timings_doc(
     results: Sequence[RunResult],
     workers: int,
     total_wall: float,
-    name: str = "timings",
     cache_build: float = 0.0,
-) -> Optional[pathlib.Path]:
-    """Persist the batch timing artefact; returns its path.
+) -> dict:
+    """Assemble the batch timing document as a plain dict.
 
     The serial estimate is the sum of per-run wall times, so the
     recorded speedup is against running the same batch with one worker
     in the same session.  Cache construction (city/WiGLE prewarm) is
     reported separately as ``cache_build_s`` rather than skewing the
-    batch wall.  Set ``REPRO_TIMINGS=0`` to disable.
+    batch wall.
     """
-    if os.environ.get(TIMINGS_ENV, "1").strip() in ("0", "false", "off"):
-        return None
     completed = [r for r in results if isinstance(r, RunSummary)]
     serial_estimate = sum(r.wall_time for r in completed)
     runs = []
@@ -970,7 +1007,7 @@ def write_timings(
             entry["failure_kind"] = r.kind
             entry["attempts"] = r.attempts
         runs.append(entry)
-    doc = {
+    return {
         "workers": workers,
         "medium_index": resolve_medium_index(),
         "run_count": len(results),
@@ -983,7 +1020,50 @@ def write_timings(
         ),
         "runs": runs,
     }
+
+
+def write_timings(
+    results: Sequence[RunResult],
+    workers: int,
+    total_wall: float,
+    name: str = "timings",
+    cache_build: float = 0.0,
+    doc: Optional[dict] = None,
+) -> Optional[pathlib.Path]:
+    """Persist the batch timing artefact; returns its path.
+
+    ``doc`` short-circuits re-assembly when the caller already built the
+    document (to embed it into ``metrics.json``).  Set
+    ``REPRO_TIMINGS=0`` to disable.
+    """
+    if os.environ.get(TIMINGS_ENV, "1").strip() in ("0", "false", "off"):
+        return None
+    if doc is None:
+        doc = timings_doc(
+            results, workers, total_wall, cache_build=cache_build
+        )
     path = timings_path(name)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def write_batch_profile(
+    results: Sequence[RunResult],
+    name: str = "profile",
+) -> Optional[pathlib.Path]:
+    """Persist the merged per-handler profile of a batch, when any run
+    carried one (``REPRO_PROFILE``); returns its path or None."""
+    docs = [
+        r.profile
+        for r in results
+        if isinstance(r, RunSummary) and r.profile is not None
+    ]
+    if not docs:
+        return None
+    ensure_artifact_dir()
+    path = artifact_path(name)
+    path.write_text(
+        json.dumps(merge_profiles(docs), indent=2, sort_keys=True) + "\n"
+    )
     return path

@@ -17,9 +17,26 @@ from repro.experiments.calibration import (
 )
 from repro.experiments.scenarios import ScenarioConfig, build_scenario
 from repro.faults.plan import FaultPlan
+from repro.obs.telemetry import maybe_heartbeat
 from repro.population.groups import GroupModel
 from repro.population.pnl import PnlModel
 from repro.wigle.database import WigleDatabase
+
+
+def session_progress(build):
+    """Zero-argument progress probe for the heartbeat thread.
+
+    Returns ``(sim_time, hits_so_far)``.  Reads only — ``sim.now`` is a
+    float and the clients dict is snapshotted via ``list``; a rare torn
+    read smears one heartbeat and nothing else.
+    """
+
+    def probe():
+        session = build.attacker.session
+        hits = sum(1 for c in list(session.clients.values()) if c.connected)
+        return build.sim.now, hits
+
+    return probe
 
 
 @dataclass
@@ -97,7 +114,8 @@ def run_experiment(
     )
     build = build_scenario(city, wigle, config, attacker_factory)
     # Let in-flight visits and handshakes complete a little past the end.
-    build.sim.run(duration + 30.0)
+    with maybe_heartbeat(None, duration, session_progress(build)):
+        build.sim.run(duration + 30.0)
     session = build.attacker.session
     return ExperimentResult(
         session=session,

@@ -5,6 +5,13 @@ a :class:`MetricsRegistry` of counters/gauges/histograms, a capped
 :class:`EventSink` of structured events, and span/timer context
 managers — plus the single artefact-directory resolution rule shared by
 the timings and metrics writers.
+
+On top of those sit the opt-in deep-observability layers (see
+OBSERVABILITY.md): causal :mod:`~repro.obs.lineage` tracing with Chrome
+trace-event export, the per-handler :mod:`~repro.obs.profiler`, live
+executor heartbeats in :mod:`~repro.obs.telemetry`, and the
+:mod:`~repro.obs.bench` regression gate CI runs against committed
+baselines.
 """
 
 from repro.obs.artifacts import (
@@ -31,7 +38,42 @@ from repro.obs.registry import (
     parse_key,
     validate_metrics_doc,
 )
+from repro.obs.bench import (
+    BENCH_TOLERANCE_DEFAULT,
+    append_trajectory,
+    compare_bench,
+    extract_bench_metrics,
+    render_bench_report,
+)
+from repro.obs.lineage import (
+    LINEAGE_ENV,
+    LineageTrace,
+    chrome_trace_doc,
+    hunt_story,
+    load_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.profiler import (
+    PROFILE_ENV,
+    PROFILE_SCHEMA,
+    SimProfiler,
+    load_profile,
+    merge_profiles,
+    profile_collapsed,
+    render_hot_table,
+    write_collapsed,
+    write_profile,
+)
 from repro.obs.spans import NullSpan, Span, maybe_span, span, timer
+from repro.obs.telemetry import (
+    HEARTBEAT_ENV,
+    HeartbeatWriter,
+    heartbeat_dir,
+    read_heartbeats,
+    render_watch,
+    watch_snapshot,
+)
 
 __all__ = [
     "ARTIFACT_DIR_ENV",
@@ -57,4 +99,31 @@ __all__ = [
     "maybe_span",
     "span",
     "timer",
+    "LINEAGE_ENV",
+    "LineageTrace",
+    "chrome_trace_doc",
+    "hunt_story",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "PROFILE_ENV",
+    "PROFILE_SCHEMA",
+    "SimProfiler",
+    "load_profile",
+    "merge_profiles",
+    "profile_collapsed",
+    "render_hot_table",
+    "write_collapsed",
+    "write_profile",
+    "HEARTBEAT_ENV",
+    "HeartbeatWriter",
+    "heartbeat_dir",
+    "read_heartbeats",
+    "render_watch",
+    "watch_snapshot",
+    "BENCH_TOLERANCE_DEFAULT",
+    "append_trajectory",
+    "compare_bench",
+    "extract_bench_metrics",
+    "render_bench_report",
 ]

@@ -1,8 +1,9 @@
 """Golden-master canonicalisation for metrics artefacts.
 
 A batch's ``metrics.json`` is a pure function of its specs *except* for
-two fields: the wall-clock ``timers`` sections and the top-level
-``workers`` count.  :func:`canonical_metrics_doc` strips exactly those,
+three fields: the wall-clock ``timers`` sections, the top-level
+``workers`` count, and the embedded ``timings`` section (all wall
+clock).  :func:`canonical_metrics_doc` strips exactly those,
 so the digest of the canonical form is the contract the golden tests
 pin down: bit-identical across ``REPRO_WORKERS`` values and across the
 spatial-index on/off delivery paths.
@@ -20,12 +21,13 @@ import hashlib
 import json
 from typing import List
 
-_NONDETERMINISTIC_TOP_LEVEL = ("workers",)
+_NONDETERMINISTIC_TOP_LEVEL = ("workers", "timings")
 
 
 def canonical_metrics_doc(doc: dict) -> dict:
     """A deep copy of a metrics artefact with every non-deterministic
-    field removed (wall-clock ``timers``, the ``workers`` count)."""
+    field removed (wall-clock ``timers``, the ``workers`` count, the
+    embedded wall-clock ``timings`` section)."""
     out = copy.deepcopy(doc)
     for field in _NONDETERMINISTIC_TOP_LEVEL:
         out.pop(field, None)

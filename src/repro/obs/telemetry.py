@@ -1,0 +1,284 @@
+"""Live executor telemetry: worker heartbeats and the stall watcher.
+
+PR 3 gave the executor a kill switch (``REPRO_SPEC_TIMEOUT_S``); this
+module gives it *visibility before the kill*.  When ``REPRO_HEARTBEAT``
+is set, every worker process in :mod:`repro.experiments.parallel`
+appends heartbeat records to its own JSONL file under
+``<artifact_dir>/telemetry/worker-<pid>.jsonl`` while a spec runs:
+spec id, wall-clock timestamp, simulated-time fraction, and hits so far.
+One writer per process and append-only files mean no cross-process
+locking — the watcher only ever reads.
+
+``repro obs watch`` tails those files and renders a live table; a
+worker whose newest heartbeat is older than ``--stall-after`` seconds
+(and whose file does not end in a ``done`` record) is flagged as
+stalled.  ``--once`` prints a single snapshot and exits non-zero when
+anything is stalled, which is what the tests drive.
+
+Heartbeats are sampled on a wall-clock cadence by a daemon thread — the
+simulation itself is never touched, so golden digests are identical
+with heartbeats on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time as _time
+from contextlib import nullcontext
+from typing import Callable, ContextManager, List, Optional, Union
+
+from repro.obs.artifacts import artifact_dir
+
+HEARTBEAT_ENV = "REPRO_HEARTBEAT"
+_TRUTHY = ("1", "true", "on", "yes")
+
+DEFAULT_INTERVAL_S = 5.0
+DEFAULT_STALL_AFTER_S = 60.0
+TELEMETRY_SUBDIR = "telemetry"
+
+
+def resolve_heartbeat_interval(value: Optional[str] = None) -> Optional[float]:
+    """Heartbeat interval in seconds, or None when heartbeats are off.
+
+    ``REPRO_HEARTBEAT`` accepts a truthy flag (default 5 s cadence) or a
+    number of seconds (``REPRO_HEARTBEAT=2.5``).
+    """
+    if value is None:
+        value = os.environ.get(HEARTBEAT_ENV, "")
+    value = value.strip().lower()
+    if not value:
+        return None
+    if value in _TRUTHY:
+        return DEFAULT_INTERVAL_S
+    try:
+        interval = float(value)
+    except ValueError:
+        return None
+    return interval if interval > 0 else None
+
+
+def heartbeat_dir(base: Optional[Union[str, pathlib.Path]] = None) -> pathlib.Path:
+    """Directory heartbeat files live in (under the artefact dir)."""
+    root = pathlib.Path(base) if base is not None else artifact_dir()
+    return root / TELEMETRY_SUBDIR
+
+
+class HeartbeatWriter:
+    """Daemon thread appending progress records for one running spec.
+
+    Used as a context manager around ``sim.run``::
+
+        with HeartbeatWriter(spec_id, duration, progress) as hb:
+            sim.run(duration)
+
+    ``progress`` is a zero-argument callable returning
+    ``(sim_time, hits)``; it is invoked from the heartbeat thread, so it
+    must only *read* (both values are plain floats/ints written by the
+    sim thread — a torn read at worst smears one heartbeat, never the
+    simulation).
+    """
+
+    def __init__(
+        self,
+        spec_id: str,
+        duration_s: float,
+        progress: Callable[[], tuple],
+        interval_s: float = DEFAULT_INTERVAL_S,
+        base_dir: Optional[Union[str, pathlib.Path]] = None,
+        clock: Callable[[], float] = _time.time,
+    ):
+        self.spec_id = spec_id
+        self.duration_s = max(float(duration_s), 1e-9)
+        self._progress = progress
+        self.interval_s = float(interval_s)
+        self._clock = clock
+        self.path = heartbeat_dir(base_dir) / ("worker-%d.jsonl" % os.getpid())
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._seq = 0
+        self._last = (0.0, 0)
+
+    # -- record emission --------------------------------------------------
+
+    def _write(self, done: bool = False) -> None:
+        try:
+            sim_time, hits = self._progress()
+        except RuntimeError:
+            # The sim thread mutated a dict mid-iteration; skip one
+            # sample rather than perturb anything.
+            sim_time, hits = self._last
+        self._last = (sim_time, hits)
+        record = {
+            "wall": self._clock(),
+            "pid": os.getpid(),
+            "spec": self.spec_id,
+            "seq": self._seq,
+            "sim_time": float(sim_time),
+            "fraction": min(1.0, float(sim_time) / self.duration_s),
+            "hits": int(hits),
+            "done": done,
+        }
+        self._seq += 1
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._write()
+
+    # -- context manager --------------------------------------------------
+
+    def __enter__(self) -> "HeartbeatWriter":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._write()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval_s + 1.0)
+        self._write(done=True)
+
+
+_current_spec_label: Optional[str] = None
+
+
+def set_current_spec(label: Optional[str]) -> None:
+    """Process-local label for the spec this worker is executing.
+
+    Set by the executor before dispatching into the runner, so the
+    heartbeat emitted deep inside ``run_experiment`` can name the spec
+    without the runner growing a telemetry parameter.
+    """
+    global _current_spec_label
+    _current_spec_label = label
+
+
+def current_spec_label() -> Optional[str]:
+    return _current_spec_label
+
+
+def maybe_heartbeat(
+    label: Optional[str],
+    duration_s: float,
+    progress: Callable[[], tuple],
+) -> ContextManager:
+    """A :class:`HeartbeatWriter` when ``REPRO_HEARTBEAT`` is set, else a
+    no-op context — the single gate both executor routes use."""
+    interval = resolve_heartbeat_interval()
+    if interval is None:
+        return nullcontext()
+    if label is None:
+        label = current_spec_label() or "?"
+    return HeartbeatWriter(label, duration_s, progress, interval_s=interval)
+
+
+# -- the watcher ------------------------------------------------------------
+
+
+def read_heartbeats(path: Union[str, pathlib.Path]) -> List[dict]:
+    """All heartbeat records in one worker file (bad lines skipped)."""
+    out: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # torn final line of a crashed worker
+            if isinstance(rec, dict):
+                out.append(rec)
+    return out
+
+
+def watch_snapshot(
+    directory: Union[str, pathlib.Path],
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+    now: Optional[float] = None,
+) -> List[dict]:
+    """One row per worker file: latest progress plus stall status.
+
+    A worker is ``stalled`` when its newest record is not ``done`` and
+    is older than ``stall_after_s`` seconds of wall clock.  Pure
+    function of the files and ``now`` — tests pass a frozen ``now``.
+    """
+    directory = pathlib.Path(directory)
+    if now is None:
+        now = _time.time()
+    rows: List[dict] = []
+    for path in sorted(directory.glob("worker-*.jsonl")):
+        records = read_heartbeats(path)
+        if not records:
+            continue
+        last = records[-1]
+        age = max(0.0, now - float(last.get("wall", now)))
+        done = bool(last.get("done"))
+        rows.append(
+            {
+                "file": path.name,
+                "pid": last.get("pid"),
+                "spec": last.get("spec"),
+                "sim_time": last.get("sim_time"),
+                "fraction": last.get("fraction"),
+                "hits": last.get("hits"),
+                "beats": len(records),
+                "age_s": age,
+                "done": done,
+                "stalled": (not done) and age > stall_after_s,
+            }
+        )
+    return rows
+
+
+def render_watch(rows: List[dict], stall_after_s: float) -> str:
+    """The ``repro obs watch`` table."""
+    if not rows:
+        return "no heartbeat files yet"
+    lines = [
+        f"{'worker':<22} {'spec':<34} {'progress':>8} {'hits':>6} "
+        f"{'beats':>6} {'age s':>7}  status"
+    ]
+    for row in rows:
+        fraction = row.get("fraction")
+        progress = "%5.1f%%" % (fraction * 100) if fraction is not None else "?"
+        spec = str(row.get("spec") or "?")
+        if len(spec) > 34:
+            spec = spec[:31] + "..."
+        if row["done"]:
+            status = "done"
+        elif row["stalled"]:
+            status = "STALLED (silent > %.0fs)" % stall_after_s
+        else:
+            status = "running"
+        lines.append(
+            f"{row['file']:<22} {spec:<34} {progress:>8} "
+            f"{row.get('hits', 0):>6} {row['beats']:>6} {row['age_s']:>7.1f}  "
+            f"{status}"
+        )
+    stalled = sum(1 for r in rows if r["stalled"])
+    if stalled:
+        lines.append("%d worker(s) stalled" % stalled)
+    return "\n".join(lines)
+
+
+def clear_heartbeats(
+    base: Optional[Union[str, pathlib.Path]] = None,
+) -> None:
+    """Remove stale worker files before a new batch starts."""
+    directory = heartbeat_dir(base)
+    if not directory.is_dir():
+        return
+    for path in directory.glob("worker-*.jsonl"):
+        try:
+            path.unlink()
+        except OSError:
+            pass

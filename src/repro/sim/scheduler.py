@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from repro.sim.clock import Clock
@@ -15,6 +16,10 @@ class Scheduler:
     The scheduler is the only component allowed to advance the clock; it
     does so just before invoking each callback, so a callback always
     observes ``clock.now`` equal to its own fire time.
+
+    When ``profiler`` is set (a :class:`~repro.obs.profiler.SimProfiler`),
+    every callback is timed and credited by qualified name; the attribute
+    stays ``None`` by default so the hot loop pays a single falsy check.
     """
 
     def __init__(self, clock: Optional[Clock] = None):
@@ -22,6 +27,7 @@ class Scheduler:
         self._heap: List[EventHandle] = []
         self._seq = 0
         self._fired = 0
+        self.profiler = None
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -67,10 +73,23 @@ class Scheduler:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        profiler = self.profiler
+        if profiler is None:
+            self.clock.advance_to(event.time)
+            event._mark_fired()
+            self._fired += 1
+            event.fn(*event.args)
+            return True
+        advance = event.time - self.clock.now
         self.clock.advance_to(event.time)
         event._mark_fired()
         self._fired += 1
-        event.fn(*event.args)
+        fn = event.fn
+        start = perf_counter()
+        fn(*event.args)
+        profiler.record(
+            getattr(fn, "__qualname__", repr(fn)), perf_counter() - start, advance
+        )
         return True
 
     def run_until(self, end_time: float) -> None:

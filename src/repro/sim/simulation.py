@@ -13,6 +13,16 @@ stay on for every run.  ``run``/``run_all`` are bracketed by spans
 its phase timeline.  The row-level :class:`~repro.sim.tracing.Trace`
 defaults to the ``REPRO_TRACE`` environment variable (off unless set to
 ``1``/``true``/``on``) and can be forced either way per simulation.
+
+Deep observability (both observers only — neither touches RNG draws,
+scheduling or metrics, so golden digests are identical on or off):
+
+* ``sim.lineage`` is the run's causal
+  :class:`~repro.obs.lineage.LineageTrace` (``REPRO_LINEAGE`` env or the
+  ``lineage=`` argument);
+* ``profile=True`` (or ``REPRO_PROFILE``) attaches a
+  :class:`~repro.obs.profiler.SimProfiler` to the scheduler, reachable
+  as ``sim.profiler``.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ import os
 from typing import Any, Callable, List, Optional
 
 from repro.obs.events import EventSink
+from repro.obs.lineage import LineageTrace
+from repro.obs.profiler import SimProfiler, env_profile_default
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import span
 from repro.sim.clock import Clock
@@ -46,6 +58,8 @@ class Simulation:
         trace: Optional[bool] = None,
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventSink] = None,
+        lineage: Optional[bool] = None,
+        profile: Optional[bool] = None,
     ):
         self.rngs = RngRegistry(seed)
         self.clock = Clock()
@@ -55,8 +69,18 @@ class Simulation:
         self.trace = Trace(enabled=trace)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events if events is not None else EventSink()
+        self.lineage = LineageTrace(enabled=lineage)
+        if profile is None:
+            profile = env_profile_default()
+        if profile:
+            self.scheduler.profiler = SimProfiler()
         self._entities: List[Any] = []
         self._started = False
+
+    @property
+    def profiler(self) -> Optional[SimProfiler]:
+        """The attached profiler, or None when profiling is off."""
+        return self.scheduler.profiler
 
     @property
     def now(self) -> float:
@@ -118,8 +142,10 @@ class Simulation:
         self.metrics.gauge_set("sim.time", self.now)
         self.metrics.gauge_set("trace.records", len(self.trace))
         self.metrics.gauge_set("trace.dropped", self.trace.dropped)
+        self.metrics.gauge_set("trace.cap", self.trace.max_records)
         self.metrics.gauge_set("events.buffered", len(self.events))
         self.metrics.gauge_set("events.dropped", self.events.dropped)
+        self.metrics.gauge_set("events.cap", self.events.max_events)
 
     def emit(self, kind: str, subject: str, detail: str = "") -> None:
         """Trace helper stamped with the current time."""

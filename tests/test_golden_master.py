@@ -20,6 +20,7 @@ import pytest
 
 from repro.dot11.medium import MEDIUM_INDEX_ENV
 from repro.experiments.golden import golden_specs, run_golden
+from repro.obs.lineage import LINEAGE_ENV
 from repro.obs.golden import (
     canonical_metrics_doc,
     diff_metrics_docs,
@@ -31,7 +32,12 @@ DATA_DIR = pathlib.Path(__file__).resolve().parent / "data"
 DOC_PATH = DATA_DIR / "golden_metrics.json"
 DIGEST_PATH = DATA_DIR / "golden_metrics.digest"
 
-_SCOPED_ENV = ("REPRO_ARTIFACT_DIR", MEDIUM_INDEX_ENV, "REPRO_WORKERS")
+_SCOPED_ENV = (
+    "REPRO_ARTIFACT_DIR",
+    MEDIUM_INDEX_ENV,
+    "REPRO_WORKERS",
+    LINEAGE_ENV,
+)
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +48,7 @@ def golden_env(tmp_path_factory):
     os.environ["REPRO_ARTIFACT_DIR"] = str(tmp_path_factory.mktemp("golden"))
     os.environ.pop(MEDIUM_INDEX_ENV, None)
     os.environ.pop("REPRO_WORKERS", None)
+    os.environ.pop(LINEAGE_ENV, None)
     yield
     for key, value in saved.items():
         if value is None:
@@ -119,6 +126,20 @@ class TestGoldenEquivalence:
         _assert_same(
             serial_doc, brute_doc, "spatial index on vs REPRO_MEDIUM_INDEX=off"
         )
+
+    def test_lineage_on_invariance(self, serial_doc):
+        """Causal lineage tracing is observation-only: with REPRO_LINEAGE
+        on, every metric of the golden batch must stay bit-identical —
+        no extra RNG draws, no extra scheduled events, no metric writes."""
+        os.environ[LINEAGE_ENV] = "1"
+        try:
+            lineage_doc = run_golden(workers=1)
+        finally:
+            os.environ.pop(LINEAGE_ENV, None)
+        _assert_same(
+            serial_doc, lineage_doc, "lineage off vs REPRO_LINEAGE=1"
+        )
+        assert metrics_digest(lineage_doc) == fixture_digest()
 
 
 class TestDiffRendering:

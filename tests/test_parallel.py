@@ -209,6 +209,53 @@ class TestMetricsArtefact:
         run_specs(_quick_specs(n=1), workers=1, metrics_name="metrics_off")
         assert not (tmp_path / "metrics_off.json").exists()
 
+    def test_timings_embedded_in_metrics(self, tmp_path, monkeypatch):
+        # One artefact carries the full run record: the timings doc
+        # rides inside metrics.json while timings.json stays for
+        # backward compatibility.
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        run_specs(_quick_specs(n=2), workers=1,
+                  metrics_name="metrics_timed", timings_name="timings_kept")
+        doc = json.loads((tmp_path / "metrics_timed.json").read_text())
+        validate_metrics_doc(doc)
+        standalone = json.loads((tmp_path / "timings_kept.json").read_text())
+        assert doc["timings"] == standalone
+        assert doc["timings"]["run_count"] == 2
+        assert doc["timings"]["total_wall_time_s"] > 0
+
+    def test_profile_artefact_written_when_enabled(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        run_specs(_quick_specs(n=2), workers=1)
+        from repro.obs.profiler import load_profile
+
+        doc = load_profile(tmp_path / "profile.json")
+        assert doc["total_calls"] > 0
+        assert any(
+            "Medium" in row["name"] for row in doc["handlers"]
+        )
+
+    def test_no_profile_artefact_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        run_specs(_quick_specs(n=1), workers=1)
+        assert not (tmp_path / "profile.json").exists()
+
+    def test_heartbeats_written_when_enabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_HEARTBEAT", "0.2")
+        run_specs(_quick_specs(n=1), workers=1)
+        from repro.obs.telemetry import read_heartbeats
+
+        files = list((tmp_path / "telemetry").glob("worker-*.jsonl"))
+        assert files
+        records = read_heartbeats(files[0])
+        assert records[-1]["done"] is True
+        assert records[-1]["fraction"] == 1.0
+        assert records[0]["spec"].startswith("quick:0")
+
     def test_run_summary_carries_snapshot(self, monkeypatch):
         monkeypatch.setenv("REPRO_TIMINGS", "0")
         monkeypatch.setenv("REPRO_METRICS", "0")

@@ -1,0 +1,203 @@
+"""Tests for live executor telemetry (repro.obs.telemetry).
+
+The acceptance case from the issue rides at the bottom: a synthetic
+silent worker (heartbeat file whose newest record is old and not done)
+must be flagged by ``repro obs watch --once`` with a non-zero exit.
+"""
+
+import json
+import time
+
+from repro.cli import main
+from repro.obs.telemetry import (
+    DEFAULT_INTERVAL_S,
+    HeartbeatWriter,
+    clear_heartbeats,
+    heartbeat_dir,
+    maybe_heartbeat,
+    read_heartbeats,
+    render_watch,
+    resolve_heartbeat_interval,
+    set_current_spec,
+    watch_snapshot,
+)
+
+
+class TestInterval:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+        assert resolve_heartbeat_interval() is None
+
+    def test_truthy_uses_default(self):
+        assert resolve_heartbeat_interval("1") == DEFAULT_INTERVAL_S
+        assert resolve_heartbeat_interval("on") == DEFAULT_INTERVAL_S
+
+    def test_numeric_is_seconds(self):
+        assert resolve_heartbeat_interval("2.5") == 2.5
+
+    def test_garbage_and_nonpositive_off(self):
+        assert resolve_heartbeat_interval("soon") is None
+        assert resolve_heartbeat_interval("0") is None
+        assert resolve_heartbeat_interval("-3") is None
+
+
+class TestHeartbeatWriter:
+    def test_writes_enter_and_done(self, tmp_path):
+        progress = lambda: (150.0, 7)
+        with HeartbeatWriter(
+            "spec-a", 300.0, progress, interval_s=60.0, base_dir=tmp_path
+        ) as hb:
+            pass
+        records = read_heartbeats(hb.path)
+        assert len(records) == 2
+        first, last = records
+        assert first["spec"] == "spec-a"
+        assert first["fraction"] == 0.5
+        assert first["hits"] == 7
+        assert first["done"] is False
+        assert last["done"] is True
+        assert last["seq"] == 1
+
+    def test_periodic_beats(self, tmp_path):
+        with HeartbeatWriter(
+            "spec-b", 10.0, lambda: (1.0, 0), interval_s=0.05,
+            base_dir=tmp_path,
+        ) as hb:
+            time.sleep(0.3)
+        records = read_heartbeats(hb.path)
+        assert len(records) >= 4  # enter + several beats + done
+
+    def test_fraction_capped_at_one(self, tmp_path):
+        with HeartbeatWriter(
+            "spec-c", 100.0, lambda: (130.0, 1), interval_s=60.0,
+            base_dir=tmp_path,
+        ) as hb:
+            pass
+        assert all(r["fraction"] == 1.0 for r in read_heartbeats(hb.path))
+
+    def test_torn_progress_reuses_last(self, tmp_path):
+        calls = {"n": 0}
+
+        def progress():
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("dictionary changed size during iteration")
+            return (42.0, 3)
+
+        with HeartbeatWriter(
+            "spec-d", 100.0, progress, interval_s=60.0, base_dir=tmp_path
+        ) as hb:
+            pass
+        records = read_heartbeats(hb.path)
+        assert records[-1]["sim_time"] == 42.0
+        assert records[-1]["hits"] == 3
+
+    def test_maybe_heartbeat_gates_on_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+        ctx = maybe_heartbeat("x", 10.0, lambda: (0.0, 0))
+        assert not isinstance(ctx, HeartbeatWriter)
+        monkeypatch.setenv("REPRO_HEARTBEAT", "0.5")
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        ctx = maybe_heartbeat("x", 10.0, lambda: (0.0, 0))
+        assert isinstance(ctx, HeartbeatWriter)
+        assert ctx.interval_s == 0.5
+
+    def test_maybe_heartbeat_uses_current_spec_label(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_HEARTBEAT", "1")
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        set_current_spec("cityhunter/canteen:5")
+        try:
+            ctx = maybe_heartbeat(None, 10.0, lambda: (0.0, 0))
+        finally:
+            set_current_spec(None)
+        assert ctx.spec_id == "cityhunter/canteen:5"
+
+
+def _write_worker(directory, pid, wall, done=False, spec="spec-x",
+                  fraction=0.5):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"worker-{pid}.jsonl"
+    record = {
+        "wall": wall,
+        "pid": pid,
+        "spec": spec,
+        "seq": 0,
+        "sim_time": fraction * 300.0,
+        "fraction": fraction,
+        "hits": 4,
+        "done": done,
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+    return path
+
+
+class TestWatcher:
+    def test_snapshot_rows(self, tmp_path):
+        now = 1000.0
+        _write_worker(tmp_path, 11, now - 5.0)
+        _write_worker(tmp_path, 12, now - 120.0)
+        _write_worker(tmp_path, 13, now - 120.0, done=True)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        by_pid = {r["pid"]: r for r in rows}
+        assert by_pid[11]["stalled"] is False
+        assert by_pid[12]["stalled"] is True
+        assert by_pid[13]["stalled"] is False  # done workers never stall
+        assert by_pid[13]["done"] is True
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = _write_worker(tmp_path, 21, 10.0)
+        with open(path, "a") as fh:
+            fh.write('{"wall": 99, "truncat')  # crashed mid-write
+        records = read_heartbeats(path)
+        assert len(records) == 1
+        assert records[0]["wall"] == 10.0
+
+    def test_empty_dir(self, tmp_path):
+        assert watch_snapshot(tmp_path, now=0.0) == []
+        assert "no heartbeat files" in render_watch([], 60.0)
+
+    def test_render_flags_stall(self, tmp_path):
+        now = 1000.0
+        _write_worker(tmp_path, 31, now - 500.0)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        out = render_watch(rows, 60.0)
+        assert "STALLED" in out
+        assert "1 worker(s) stalled" in out
+
+    def test_clear_heartbeats(self, tmp_path):
+        _write_worker(tmp_path / "telemetry", 41, 0.0)
+        clear_heartbeats(tmp_path)
+        assert list((tmp_path / "telemetry").glob("worker-*.jsonl")) == []
+
+    def test_heartbeat_dir_under_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        assert heartbeat_dir() == tmp_path / "telemetry"
+
+
+class TestWatchCli:
+    def test_once_flags_silent_worker(self, tmp_path, capsys):
+        """Acceptance: a worker that went silent mid-run is flagged and
+        ``obs watch --once`` exits non-zero."""
+        _write_worker(tmp_path, 51, time.time() - 3600.0)
+        rc = main(
+            ["obs", "watch", "--once", "--dir", str(tmp_path),
+             "--stall-after", "60"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "STALLED" in out
+
+    def test_once_healthy_exits_zero(self, tmp_path, capsys):
+        _write_worker(tmp_path, 52, time.time() - 1.0)
+        _write_worker(tmp_path, 53, time.time() - 3600.0, done=True)
+        rc = main(
+            ["obs", "watch", "--once", "--dir", str(tmp_path),
+             "--stall-after", "60"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "running" in out
+        assert "done" in out
