@@ -2,10 +2,14 @@
 
 Each benchmark regenerates one table or figure of the paper, prints the
 rendered rows (visible with ``pytest -s`` or on failure), and writes the
-artefact under ``benchmarks/out/`` so the output survives pytest's
-capture either way.  Fig. 5 and Fig. 6 come from the same 48 hourly
-runs, so those results are cached here and shared between the two
-benchmark files.
+artefact to the run's artefact directory so the output survives pytest's
+capture either way.  The directory comes from
+:func:`repro.obs.artifacts.ensure_artifact_dir` — ``REPRO_ARTIFACT_DIR``
+when set, ``benchmarks/out`` otherwise — so CI jobs that run several
+benchmarks concurrently can give each one its own directory instead of
+racing on a shared ``benchmarks/out/``.  Fig. 5 and Fig. 6 come from
+the same 48 hourly runs, so those results are cached here and shared
+between the two benchmark files.
 """
 
 from __future__ import annotations
@@ -13,13 +17,17 @@ from __future__ import annotations
 import functools
 import pathlib
 
-OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+def out_dir() -> pathlib.Path:
+    """The (created) artefact directory for this benchmark run."""
+    from repro.obs.artifacts import ensure_artifact_dir
+
+    return ensure_artifact_dir()
 
 
 def emit(name: str, text: str) -> None:
-    """Print an artefact and persist it under benchmarks/out/."""
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    """Print an artefact and persist it under :func:`out_dir`."""
+    (out_dir() / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
 

@@ -34,7 +34,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from _shared import OUT_DIR, emit  # noqa: E402
+from _shared import emit, out_dir  # noqa: E402
 from repro.dot11.frames import ProbeRequest  # noqa: E402
 from repro.dot11.medium import DEFAULT_INDEX_CELL_M, Medium  # noqa: E402
 from repro.geo.point import Point  # noqa: E402
@@ -189,10 +189,10 @@ def main(argv=None):
         "grid": grid,
         "max_speedup": max(p["speedup"] for p in grid),
     }
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / ARTIFACT).write_text(json.dumps(doc, indent=2) + "\n")
+    artifact = out_dir() / ARTIFACT
+    artifact.write_text(json.dumps(doc, indent=2) + "\n")
     emit("bench_hotpath", render(grid))
-    print(f"\nwrote {OUT_DIR / ARTIFACT}")
+    print(f"\nwrote {artifact}")
 
     if args.assert_speedup is not None:
         slow = [

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Sharded-city benchmark: stations-stepped/sec vs shard count.
+
+Runs the same :class:`~repro.sim.shards.ShardScenario` at every shard
+count in the grid and measures throughput.  The win is algorithmic, not
+parallel: each shard's per-epoch adjacency refresh only considers
+sensors inside its own x-stripe (inflated by the motion-aware reach
+margin), so total work falls roughly as ``O(N * S / k)`` even on a
+single core.  Every grid point must reproduce the 1-shard digest
+bit-for-bit — the determinism contract is re-checked on every benchmark
+run, not just in the golden tests.
+
+Writes ``BENCH_shards.json`` to the artefact directory
+(``REPRO_ARTIFACT_DIR``, default ``benchmarks/out``) and prints the
+table.  ``--assert-speedup X`` exits non-zero unless the 4-shard point
+at ``--assert-at`` stations reaches an ``X``-fold speedup over 1 shard
+— the contract CI's shard-smoke job enforces (2x at 2000 stations).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py [--assert-speedup 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _shared import emit, out_dir  # noqa: E402
+from repro.sim.shards import ShardScenario, run_sharded  # noqa: E402
+
+SCHEMA = "repro.bench_shards/v1"
+ARTIFACT = "BENCH_shards.json"
+
+STATION_GRID = (2000, 4000)
+SHARD_GRID = (1, 2, 4)
+SENSORS = 400
+SIZE_M = 2400.0
+EPOCH_S = 2.0
+DURATION_S = 240.0
+SEED = 11
+
+
+def _scenario(stations):
+    return ShardScenario(
+        stations=stations,
+        sensors=SENSORS,
+        duration=DURATION_S,
+        seed=SEED,
+        size_m=SIZE_M,
+        epoch_s=EPOCH_S,
+    )
+
+
+def _run_point(stations, shards):
+    scenario = _scenario(stations)
+    start = time.perf_counter()
+    result = run_sharded(
+        scenario, shards=shards, mode="inline", collect_states=False
+    )
+    wall = time.perf_counter() - start
+    # stations * epochs = station-steps performed, a size-invariant rate
+    return {
+        "stations": stations,
+        "shards": shards,
+        "wall_s": round(wall, 4),
+        "stations_per_s": round(stations * result.epochs / wall, 1),
+        "handoff_fraction": round(
+            result.wall_handoff_s / wall if wall > 0 else 0.0, 4
+        ),
+        "hits": result.summary["hits"],
+        "digest": result.digest(),
+    }
+
+
+def run_grid():
+    grid = []
+    for stations in STATION_GRID:
+        base = None
+        for shards in SHARD_GRID:
+            point = _run_point(stations, shards)
+            if base is None:
+                base = point
+            if point["digest"] != base["digest"]:
+                raise AssertionError(
+                    "shard invariance violated at %d stations: "
+                    "%d shards digest %s != 1 shard %s"
+                    % (stations, shards, point["digest"], base["digest"])
+                )
+            point["speedup"] = round(base["wall_s"] / point["wall_s"], 2)
+            grid.append(point)
+    return grid
+
+
+def render(grid):
+    lines = [
+        "Sharded-city benchmark: stations-stepped/sec vs shard count",
+        f"{SENSORS} sensors, {SIZE_M:.0f} m sq, epoch {EPOCH_S:.0f} s, "
+        f"{DURATION_S:.0f} sim s, seed {SEED}",
+        "",
+        f"{'stations':>8} {'shards':>6} {'wall s':>8} {'st/s':>10} "
+        f"{'handoff':>8} {'speedup':>8} {'hits':>6}",
+    ]
+    for p in grid:
+        lines.append(
+            f"{p['stations']:>8} {p['shards']:>6} {p['wall_s']:>8.3f} "
+            f"{p['stations_per_s']:>10.0f} {p['handoff_fraction']:>8.4f} "
+            f"{p['speedup']:>7.2f}x {p['hits']:>6}"
+        )
+    lines.append("")
+    lines.append("digests identical across shard counts: OK")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless max shards at --assert-at stations speeds up X-fold",
+    )
+    parser.add_argument(
+        "--assert-at",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="station count the --assert-speedup contract applies at "
+        "(default 2000)",
+    )
+    args = parser.parse_args(argv)
+
+    grid = run_grid()
+    doc = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sensors": SENSORS,
+        "size_m": SIZE_M,
+        "epoch_s": EPOCH_S,
+        "duration_s": DURATION_S,
+        "seed": SEED,
+        "grid": grid,
+        "max_speedup": max(p["speedup"] for p in grid),
+    }
+    artifact = out_dir() / ARTIFACT
+    artifact.write_text(json.dumps(doc, indent=2) + "\n")
+    emit("bench_shards", render(grid))
+    print(f"\nwrote {artifact}")
+
+    if args.assert_speedup is not None:
+        gated = [
+            p
+            for p in grid
+            if p["stations"] == args.assert_at and p["shards"] == max(SHARD_GRID)
+        ]
+        slow = [p for p in gated if p["speedup"] < args.assert_speedup]
+        if not gated:
+            print("FAIL: no %d-station grid point to assert on" % args.assert_at)
+            return 1
+        if slow:
+            for p in slow:
+                print(
+                    "FAIL: %d stations / %d shards reached only %.2fx (< %.1fx)"
+                    % (
+                        p["stations"],
+                        p["shards"],
+                        p["speedup"],
+                        args.assert_speedup,
+                    )
+                )
+            return 1
+        print(
+            "speedup contract OK: >= %.1fx at %d stations / %d shards"
+            % (args.assert_speedup, args.assert_at, max(SHARD_GRID))
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ any code:
 * ``fig``      — regenerate Fig. 1, 2, 4 or 5/6 (optionally one venue);
 * ``report``   — regenerate everything and check every paper target;
 * ``city``     — print synthetic-city statistics and the heat map;
+* ``shards``   — district-sharded city runs (``shards run``) and the
+  shard-count-invariance golden batch (``shards golden --check`` is
+  what CI's shard-smoke job drives; see EXPERIMENTS.md);
 * ``obs``      — inspect a ``metrics.json`` artefact (summarize /
   export events as JSONL / top-N SSIDs by hits), reconstruct a client's
   hunt story from a lineage trace, render the hot-handler profile,
@@ -19,6 +22,8 @@ any code:
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -398,6 +403,93 @@ def _cmd_obs_bench(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_shards_run(args: argparse.Namespace) -> int:
+    from repro.sim.shards.engine import run_sharded
+    from repro.sim.shards.scenario import ShardScenario
+
+    scenario = ShardScenario(
+        stations=args.stations,
+        sensors=args.sensors,
+        duration=args.duration,
+        seed=args.seed,
+        size_m=args.size,
+        district_m=args.district,
+        epoch_s=args.epoch,
+    )
+    result = run_sharded(
+        scenario,
+        shards=args.shards,
+        mode=args.mode,
+        backend=args.backend,
+        collect_states=False,
+    )
+    doc = {
+        "shards": result.shards,
+        "mode": result.mode,
+        "backend": result.backend,
+        "epochs": result.epochs,
+        "digest": result.digest(),
+        "summary": result.summary,
+        "wall_phase_s": round(result.wall_phase_s, 4),
+        "wall_handoff_s": round(result.wall_handoff_s, 4),
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    summary = result.session_summary()
+    print(
+        "sharded city: %d shards (%s, %s backend), %d epochs"
+        % (result.shards, result.mode, result.backend, result.epochs)
+    )
+    print(
+        "  stations %d  probed %d  connected %d  (h_b %.1f%%)"
+        % (
+            scenario.stations,
+            summary.total_clients,
+            summary.connected_total,
+            100.0 * summary.broadcast_hit_rate,
+        )
+    )
+    print(
+        "  scans %d  probes %d  offers %d  feedbacks %d"
+        % (
+            result.summary["scans"],
+            result.summary["probes"],
+            result.summary["offers"],
+            result.summary["feedbacks"],
+        )
+    )
+    print("  digest %s" % result.digest())
+    return 0
+
+
+def _cmd_shards_golden(args: argparse.Namespace) -> int:
+    from repro.experiments.golden import run_golden_shards
+    from repro.obs.golden import diff_metrics_docs, metrics_digest
+
+    doc = run_golden_shards(workers=args.workers, shards=args.shards)
+    digest = metrics_digest(doc)
+    print("golden shards digest (shards=%s): %s" % (args.shards or "env", digest))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.check:
+        with open(args.check) as fh:
+            expected = fh.read().strip()
+        if digest != expected:
+            print("digest MISMATCH (expected %s)" % expected, file=sys.stderr)
+            fixture_json = pathlib.Path(args.check).with_suffix(".json")
+            if fixture_json.exists():
+                with open(fixture_json) as fh:
+                    old = json.load(fh)
+                print(diff_metrics_docs(old, doc), file=sys.stderr)
+            return 1
+        print("digest matches fixture %s" % args.check)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -564,6 +656,50 @@ def build_parser() -> argparse.ArgumentParser:
     city.add_argument("--heatmap", action="store_true",
                       help="also render the ASCII heat map")
     city.set_defaults(func=_cmd_city)
+
+    shards = sub.add_parser(
+        "shards", help="district-sharded city simulation"
+    )
+    shards_sub = shards.add_subparsers(dest="shards_command", required=True)
+
+    shards_run = shards_sub.add_parser(
+        "run", help="run one sharded city scenario"
+    )
+    shards_run.add_argument("--stations", type=int, default=2000)
+    shards_run.add_argument("--sensors", type=int, default=200)
+    shards_run.add_argument("--duration", type=_positive_duration,
+                            default=600.0)
+    shards_run.add_argument("--seed", type=int, default=7)
+    shards_run.add_argument("--size", type=float, default=1680.0,
+                            help="city edge length in metres")
+    shards_run.add_argument("--district", type=float, default=120.0,
+                            help="district edge length in metres")
+    shards_run.add_argument("--epoch", type=float, default=5.0,
+                            help="handoff barrier spacing in sim seconds")
+    shards_run.add_argument("--shards", type=int,
+                            help="shard count (default: REPRO_SHARDS, else 1)")
+    shards_run.add_argument("--mode", choices=("inline", "process"),
+                            help="execution mode (default: REPRO_SHARD_MODE)")
+    shards_run.add_argument("--backend", choices=("numpy", "python", "auto"),
+                            help="batch backend (default: "
+                                 "REPRO_SHARDS_BACKEND, else numpy)")
+    shards_run.add_argument("--json", help="write the run document here")
+    shards_run.set_defaults(func=_cmd_shards_run)
+
+    shards_golden = shards_sub.add_parser(
+        "golden",
+        help="run the sharded golden batch and optionally check its "
+             "digest against a fixture (the CI shard-smoke gate)",
+    )
+    shards_golden.add_argument("--shards", type=int,
+                               help="shard count (default: REPRO_SHARDS)")
+    shards_golden.add_argument("--workers", type=int,
+                               help="executor width (default: REPRO_WORKERS)")
+    shards_golden.add_argument("--check", metavar="FIXTURE",
+                               help="digest fixture to compare against "
+                                    "(tests/data/golden_shards.digest)")
+    shards_golden.add_argument("--json", help="write the metrics doc here")
+    shards_golden.set_defaults(func=_cmd_shards_golden)
     return parser
 
 

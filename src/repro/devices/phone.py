@@ -37,6 +37,27 @@ from repro.util.units import PROBE_REQUEST_AIRTIME_S
 _EPS = 1e-6
 
 
+def pick_join_target(
+    responses: List[ProbeResponse], pnl
+) -> Optional[ProbeResponse]:
+    """The join policy: first response (arrival order) whose SSID is an
+    open, auto-joinable PNL entry; None when nothing qualifies.
+
+    Module-level because the policy is shared — :class:`Phone` applies
+    it to a scan window's probe responses, and the shard engine's
+    batched walkers (:mod:`repro.sim.shards`) apply the same first-
+    matching-entry rule to sorted offer records, so both population
+    models make identical join decisions.
+    """
+    for resp in responses:
+        profile = pnl.get(resp.ssid)
+        if profile is None:
+            continue
+        if profile.auto_joinable and resp.security.is_open:
+            return resp
+    return None
+
+
 class Phone:
     """One smartphone visiting the scene."""
 
@@ -191,13 +212,7 @@ class Phone:
 
     def _pick_join_target(self) -> Optional[ProbeResponse]:
         """First response (arrival order) matching an open PNL entry."""
-        for resp in self._responses:
-            profile = self.person.pnl.get(resp.ssid)
-            if profile is None:
-                continue
-            if profile.auto_joinable and resp.security.is_open:
-                return resp
-        return None
+        return pick_join_target(self._responses, self.person.pnl)
 
     # -- association ------------------------------------------------------------
 

@@ -94,6 +94,21 @@ def resolve_medium_index(index: Optional[bool] = None) -> bool:
     return os.environ.get(MEDIUM_INDEX_ENV, "").strip().lower() not in _INDEX_OFF
 
 
+def reach_with_motion(reach: float, v_max: float, dt: float) -> float:
+    """Radio reach inflated by the worst-case motion over ``dt`` seconds.
+
+    A station binned (or bounded) ``dt`` seconds ago can have moved at
+    most ``v_max * dt`` metres, so any query within this inflated radius
+    is a guaranteed superset of the stations truly within ``reach`` —
+    the invariant behind both the medium's lazy index refresh and the
+    shard engine's candidate-sensor stripes
+    (:mod:`repro.sim.shards.shard`).
+    """
+    if dt <= 0:
+        return reach
+    return reach + v_max * dt
+
+
 class Station(Protocol):
     """What the medium requires of anything attached to it.
 
@@ -318,7 +333,7 @@ class Medium:
                 and delivered(pos.distance_to(st.position_at(time)), reach, rng)
             ]
         self._refresh_index(time)
-        radius = reach + self._vmax * (time - self._grid_time)
+        radius = reach_with_motion(reach, self._vmax, time - self._grid_time)
         macs = self._grid.candidates(pos, radius)
         if self._unindexed:
             macs.extend(self._unindexed)

@@ -12,8 +12,11 @@ tests assert the digest is reproduced
 
 so any change that moves simulation behaviour — intentional or not —
 shows up as a reviewable per-section diff, not a silent drift.
-Regenerate the fixture with ``python tests/regen_golden.py`` after an
-intentional change.
+A second batch (:func:`golden_shard_specs`, fixture
+``tests/data/golden_shards.digest``) pins the district-sharded city
+engine the same way: its digest must be reproduced at any
+``REPRO_SHARDS`` count.  Regenerate the fixtures with
+``python tests/regen_golden.py`` after an intentional change.
 
 Durations are short (5 simulated minutes) to keep the batch affordable
 in CI while still crossing every hot path: probe/response bursts, hits,
@@ -22,6 +25,7 @@ adaptation, Gilbert–Elliott channel faults.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.experiments.parallel import (
@@ -32,8 +36,11 @@ from repro.experiments.parallel import (
     run_specs,
 )
 from repro.faults.plan import FaultPlan, GilbertElliottParams
+from repro.sim.shards.engine import SHARDS_ENV, resolve_shards
+from repro.sim.shards.scenario import ShardScenario
 
 GOLDEN_DURATION_S = 300.0
+GOLDEN_SHARD_DURATION_S = 240.0
 
 
 def golden_specs() -> List[RunSpec]:
@@ -70,4 +77,85 @@ def run_golden(workers: Optional[int] = None) -> dict:
         golden_specs(), workers=workers, timings_name="golden_timings",
         metrics_name="golden_metrics",
     )
+    return metrics_doc(results, workers=resolve_workers(workers))
+
+
+def golden_shard_specs() -> List[RunSpec]:
+    """The sharded-city golden batch (fixture:
+    ``tests/data/golden_shards.digest``).
+
+    Three scenarios sized so 1/2/4 shards all own real work (six
+    district columns, walkers crossing shard seams throughout) while
+    staying CI-cheap.  The shard count is deliberately *not* in the
+    specs — it comes from ``REPRO_SHARDS`` — so one fixture digest pins
+    every shard count and both executor widths.
+    """
+    return [
+        RunSpec(
+            attacker="cityhunter",
+            seed=111,
+            tag="golden-shards-a",
+            shard_scenario=ShardScenario(
+                stations=240,
+                sensors=24,
+                duration=GOLDEN_SHARD_DURATION_S,
+                seed=111,
+                size_m=720.0,
+            ),
+        ),
+        RunSpec(
+            attacker="cityhunter",
+            seed=222,
+            tag="golden-shards-b",
+            shard_scenario=ShardScenario(
+                stations=180,
+                sensors=16,
+                duration=GOLDEN_SHARD_DURATION_S,
+                seed=222,
+                size_m=720.0,
+                epoch_s=3.0,
+                open_share=0.4,
+            ),
+        ),
+        RunSpec(
+            attacker="cityhunter",
+            seed=333,
+            tag="golden-shards-c",
+            shard_scenario=ShardScenario(
+                stations=300,
+                sensors=32,
+                duration=GOLDEN_SHARD_DURATION_S,
+                seed=333,
+                size_m=960.0,
+                burst_size=8,
+            ),
+        ),
+    ]
+
+
+def run_golden_shards(
+    workers: Optional[int] = None, shards: Optional[int] = None
+) -> dict:
+    """Run the sharded golden batch at ``shards`` and return its metrics
+    artefact document.
+
+    ``shards`` is applied by (temporarily) setting ``REPRO_SHARDS`` —
+    the same path a user takes — so the artefact exercises exactly the
+    env plumbing the CI shard-smoke job drives.
+    """
+    shards = resolve_shards(shards)
+    previous = os.environ.get(SHARDS_ENV)
+    os.environ[SHARDS_ENV] = str(shards)
+    try:
+        results: List[RunResult] = run_specs(
+            golden_shard_specs(),
+            workers=workers,
+            timings_name="golden_shards_timings",
+            metrics_name="golden_shards_metrics",
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = previous
     return metrics_doc(results, workers=resolve_workers(workers))

@@ -102,6 +102,8 @@ from repro.obs.registry import (
 from repro.obs.telemetry import maybe_heartbeat, set_current_spec
 from repro.population.groups import GroupModel
 from repro.population.pnl import PnlModel
+from repro.sim.shards.engine import run_sharded
+from repro.sim.shards.scenario import ShardScenario
 from repro.util.rng import derive_seed
 
 WORKERS_ENV = "REPRO_WORKERS"
@@ -164,14 +166,28 @@ class RunSpec:
     faults: Optional[FaultPlan] = None
     """Deterministic fault plan for this run (None injects nothing)."""
 
+    shard_scenario: Optional[ShardScenario] = None
+    """Third route: a district-sharded city run
+    (:mod:`repro.sim.shards`).  The shard count stays an execution
+    parameter (``REPRO_SHARDS``), not a spec field, so one spec digest
+    covers every shard count — which is what lets the golden suite pin
+    shard-count invariance."""
+
     def __post_init__(self) -> None:
         if self.attacker not in ATTACKER_NAMES:
             raise ValueError(
                 "unknown attacker %r (have: %s)"
                 % (self.attacker, ", ".join(ATTACKER_NAMES))
             )
-        if (self.venue is None) == (self.scenario is None):
-            raise ValueError("exactly one of venue/scenario must be set")
+        routes = sum(
+            route is not None
+            for route in (self.venue, self.scenario, self.shard_scenario)
+        )
+        if routes != 1:
+            raise ValueError(
+                "exactly one of venue/scenario must be set"
+                " (or shard_scenario for sharded city runs)"
+            )
 
 
 @dataclass(frozen=True)
@@ -503,6 +519,38 @@ class RunCheckpoint:
 # -- single-run execution --------------------------------------------------
 
 
+def _execute_shard_spec(spec: RunSpec) -> RunSummary:
+    """The sharded-city route: no venue city, no frame-level medium —
+    the spec's :class:`~repro.sim.shards.scenario.ShardScenario` runs
+    through :func:`~repro.sim.shards.engine.run_sharded` at whatever
+    shard count / mode ``REPRO_SHARDS`` / ``REPRO_SHARD_MODE`` resolve
+    to, and folds back into the same RunSummary shape."""
+    scenario = spec.shard_scenario
+    set_current_spec(
+        spec.tag or "%s/%s:%d" % (spec.attacker, _spec_venue(spec), spec.seed)
+    )
+    start = time.perf_counter()
+    result = run_sharded(scenario, collect_states=False)
+    wall = time.perf_counter() - start
+    set_current_spec(None)
+    registry = MetricsRegistry.from_dict(result.metrics)
+    registry.inc("run.count")
+    registry.inc("run.people_spawned", scenario.stations)
+    registry.inc("run.sim_duration_s", scenario.duration)
+    registry.timer_add("run.wall", wall)
+    return RunSummary(
+        spec=spec,
+        summary=result.session_summary(),
+        source=result.source_breakdown(),
+        buffers=result.buffer_breakdown(),
+        people_spawned=scenario.stations,
+        duration=scenario.duration,
+        wall_time=wall,
+        metrics=registry.to_dict(),
+        events=(),
+    )
+
+
 def execute_spec(spec: RunSpec) -> RunSummary:
     """Run one spec in the current process and summarise it.
 
@@ -510,6 +558,8 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     ``run_specs`` with one worker calls it inline, which is what makes
     the ``REPRO_WORKERS=1`` fallback *exact* rather than approximate.
     """
+    if spec.shard_scenario is not None:
+        return _execute_shard_spec(spec)
     cache_start = time.perf_counter()
     city = default_city(spec.city_seed)
     wigle = shared_wigle(spec.city_seed)
@@ -870,7 +920,9 @@ def _prewarm(specs: Sequence[RunSpec]) -> None:
     the caller and reported as ``cache_build_s`` so batch wall time
     measures the runs, not the cache construction.
     """
-    for city_seed in sorted({spec.city_seed for spec in specs}):
+    for city_seed in sorted(
+        {spec.city_seed for spec in specs if spec.shard_scenario is None}
+    ):
         shared_wigle(city_seed)
 
 
@@ -900,6 +952,11 @@ def merged_metrics(results: Sequence[RunResult]) -> dict:
 
 
 def _spec_venue(spec: RunSpec) -> Optional[str]:
+    if spec.shard_scenario is not None:
+        return "shard-city:%dx%d" % (
+            spec.shard_scenario.stations,
+            spec.shard_scenario.sensors,
+        )
     return (
         spec.venue if spec.venue is not None else spec.scenario.venue_name
     )

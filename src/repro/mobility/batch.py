@@ -1,0 +1,73 @@
+"""Batched corridor kinematics for struct-of-arrays walkers.
+
+:class:`~repro.mobility.base.PathMobility` answers *where is this one
+person at time t* through per-object knot interpolation; the sharded
+city (:mod:`repro.sim.shards`) needs the same answer for thousands of
+walkers per call.  Shard walkers are straight-line corridor crossers
+(the subway-passage pattern scaled city-wide), so their position has a
+closed form — entry point plus velocity times clamped elapsed time —
+and the whole population can be evaluated as arrays.
+
+Only *elementwise* float arithmetic is used (no reductions), so the
+numpy backend, the pure-python backend, and any partition of the
+population into shards all produce bit-identical coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def corridor_endpoints(
+    horizontal: bool, forward: bool, cross: float, size: float
+) -> Tuple[float, float, float, float]:
+    """Entry point and unit direction of one corridor crossing.
+
+    Returns ``(x0, y0, ux, uy)``: the walker enters on one edge of the
+    ``[0, size)`` square at offset ``cross`` on the perpendicular axis
+    and walks straight across.  Multiply the unit direction by the
+    walker's speed for its velocity.
+    """
+    if horizontal:
+        return (0.0, cross, 1.0, 0.0) if forward else (size, cross, -1.0, 0.0)
+    return (cross, 0.0, 0.0, 1.0) if forward else (cross, size, 0.0, -1.0)
+
+
+def clamped_elapsed(t: float, t_enter: float, t_exit: float) -> float:
+    """Seconds of motion accumulated by time ``t`` (scalar form).
+
+    Before entry the walker waits at its entry point, after exit it is
+    parked at its exit point — the same end-point clamping
+    :meth:`~repro.mobility.base.PathMobility.position_at` applies.
+    """
+    if t <= t_enter:
+        return 0.0
+    if t >= t_exit:
+        return t_exit - t_enter
+    return t - t_enter
+
+
+def position_scalar(
+    t: float,
+    t_enter: float,
+    t_exit: float,
+    x0: float,
+    y0: float,
+    vx: float,
+    vy: float,
+) -> Tuple[float, float]:
+    """Closed-form position of one walker at time ``t``."""
+    dt = clamped_elapsed(t, t_enter, t_exit)
+    return (x0 + vx * dt, y0 + vy * dt)
+
+
+def positions_vec(t: float, t_enter, t_exit, x0, y0, vx, vy):
+    """Vectorised :func:`position_scalar` over numpy arrays.
+
+    ``np.clip(t, t_enter, t_exit) - t_enter`` computes the identical
+    clamped elapsed time elementwise, so the two forms agree bitwise.
+    """
+    import numpy as np
+
+    dt = np.clip(t, t_enter, t_exit) - t_enter
+    return x0 + vx * dt, y0 + vy * dt

@@ -26,6 +26,7 @@ BENCH_TOLERANCE_DEFAULT = 0.05
 """Allowed fractional regression before the gate fails (5 %)."""
 
 HOTPATH_SCHEMA = "repro.bench_hotpath/v1"
+SHARDS_SCHEMA = "repro.bench_shards/v1"
 
 
 def load_bench_doc(path: Union[str, pathlib.Path]) -> dict:
@@ -65,6 +66,35 @@ def extract_bench_metrics(doc: dict) -> Dict[str, dict]:
                     "higher_better": True,
                     "gated": False,
                 }
+        if "max_speedup" in doc:
+            metrics["max_speedup"] = {
+                "value": float(doc["max_speedup"]),
+                "higher_better": True,
+                "gated": True,
+            }
+        return metrics
+    if schema == SHARDS_SCHEMA:
+        # Gated: per-point speedup vs the 1-shard run of the same
+        # station count (relative, hardware-stable).  Informational:
+        # stations-stepped/sec and the handoff overhead fraction.
+        for point in doc.get("grid", []):
+            at = "%dst/%dsh" % (point["stations"], point["shards"])
+            if point["shards"] > 1:
+                metrics["speedup@%s" % at] = {
+                    "value": float(point["speedup"]),
+                    "higher_better": True,
+                    "gated": True,
+                }
+            metrics["stations_per_s@%s" % at] = {
+                "value": float(point["stations_per_s"]),
+                "higher_better": True,
+                "gated": False,
+            }
+            metrics["handoff_fraction@%s" % at] = {
+                "value": float(point["handoff_fraction"]),
+                "higher_better": False,
+                "gated": False,
+            }
         if "max_speedup" in doc:
             metrics["max_speedup"] = {
                 "value": float(doc["max_speedup"]),

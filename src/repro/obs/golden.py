@@ -23,21 +23,38 @@ from typing import List
 
 _NONDETERMINISTIC_TOP_LEVEL = ("workers", "timings")
 
+#: Metric namespace for sharded-run *operational* data (migration
+#: counts, per-shard gauges, routing volumes).  Those values
+#: legitimately change with the shard count, so canonicalisation drops
+#: them the same way it drops wall-clock timers; the ``shardsim.*``
+#: workload namespace stays and must be bit-identical at any count.
+OPS_METRIC_PREFIX = "shardops."
+
+
+def _strip_snapshot(snap: dict) -> None:
+    snap.pop("timers", None)
+    for section in ("counters", "gauges", "histograms", "series"):
+        values = snap.get(section)
+        if isinstance(values, dict):
+            for key in [k for k in values if k.startswith(OPS_METRIC_PREFIX)]:
+                del values[key]
+
 
 def canonical_metrics_doc(doc: dict) -> dict:
     """A deep copy of a metrics artefact with every non-deterministic
-    field removed (wall-clock ``timers``, the ``workers`` count, the
-    embedded wall-clock ``timings`` section)."""
+    field removed: wall-clock ``timers``, the ``workers`` count, the
+    embedded wall-clock ``timings`` section, and the shard-count-
+    dependent ``shardops.*`` metric namespace."""
     out = copy.deepcopy(doc)
     for field in _NONDETERMINISTIC_TOP_LEVEL:
         out.pop(field, None)
     merged = out.get("merged")
     if isinstance(merged, dict):
-        merged.pop("timers", None)
+        _strip_snapshot(merged)
     for run in out.get("runs", ()):
         metrics = run.get("metrics")
         if isinstance(metrics, dict):
-            metrics.pop("timers", None)
+            _strip_snapshot(metrics)
     return out
 
 

@@ -89,13 +89,18 @@ class HeartbeatWriter:
         interval_s: float = DEFAULT_INTERVAL_S,
         base_dir: Optional[Union[str, pathlib.Path]] = None,
         clock: Callable[[], float] = _time.time,
+        file_stem: Optional[str] = None,
     ):
         self.spec_id = spec_id
         self.duration_s = max(float(duration_s), 1e-9)
         self._progress = progress
         self.interval_s = float(interval_s)
         self._clock = clock
-        self.path = heartbeat_dir(base_dir) / ("worker-%d.jsonl" % os.getpid())
+        # Default stem is per-process (executor workers); shard runtimes
+        # pass ``shard-<k>`` so inline shards get distinct files too.
+        if file_stem is None:
+            file_stem = "worker-%d" % os.getpid()
+        self.path = heartbeat_dir(base_dir) / (file_stem + ".jsonl")
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._seq = 0
@@ -169,6 +174,7 @@ def maybe_heartbeat(
     label: Optional[str],
     duration_s: float,
     progress: Callable[[], tuple],
+    file_stem: Optional[str] = None,
 ) -> ContextManager:
     """A :class:`HeartbeatWriter` when ``REPRO_HEARTBEAT`` is set, else a
     no-op context — the single gate both executor routes use."""
@@ -177,7 +183,9 @@ def maybe_heartbeat(
         return nullcontext()
     if label is None:
         label = current_spec_label() or "?"
-    return HeartbeatWriter(label, duration_s, progress, interval_s=interval)
+    return HeartbeatWriter(
+        label, duration_s, progress, interval_s=interval, file_stem=file_stem
+    )
 
 
 # -- the watcher ------------------------------------------------------------
@@ -215,7 +223,10 @@ def watch_snapshot(
     if now is None:
         now = _time.time()
     rows: List[dict] = []
-    for path in sorted(directory.glob("worker-*.jsonl")):
+    paths = sorted(
+        list(directory.glob("worker-*.jsonl")) + list(directory.glob("shard-*.jsonl"))
+    )
+    for path in paths:
         records = read_heartbeats(path)
         if not records:
             continue
@@ -277,8 +288,9 @@ def clear_heartbeats(
     directory = heartbeat_dir(base)
     if not directory.is_dir():
         return
-    for path in directory.glob("worker-*.jsonl"):
-        try:
-            path.unlink()
-        except OSError:
-            pass
+    for pattern in ("worker-*.jsonl", "shard-*.jsonl"):
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+            except OSError:
+                pass

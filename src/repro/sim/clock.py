@@ -6,6 +6,31 @@ only ever moves forward; the scheduler is the single writer.
 
 from __future__ import annotations
 
+from typing import List
+
+
+def epoch_schedule(duration: float, epoch_s: float) -> List[float]:
+    """Barrier times ``[0, e, 2e, ..., >= duration]`` for epoch stepping.
+
+    Each barrier is computed by *multiplication* (``b * epoch_s``), not
+    accumulation, so every shard — at any shard count — computes the
+    exact same float for barrier ``b``.  The final barrier is the first
+    multiple of ``epoch_s`` at or past ``duration``, so the last epoch
+    may be short when ``duration`` is not a multiple.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive, got %r" % duration)
+    if epoch_s <= 0:
+        raise ValueError("epoch_s must be positive, got %r" % epoch_s)
+    barriers = [0.0]
+    b = 1
+    while True:
+        t = b * epoch_s
+        barriers.append(t)
+        if t >= duration:
+            return barriers
+        b += 1
+
 
 class Clock:
     """Monotonic simulation clock (seconds)."""

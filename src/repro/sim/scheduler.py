@@ -92,8 +92,9 @@ class Scheduler:
         )
         return True
 
-    def run_until(self, end_time: float) -> None:
-        """Run events with fire time <= ``end_time``, then set the clock there.
+    def run_until(self, end_time: float) -> int:
+        """Run events with fire time <= ``end_time``, then set the clock
+        there; returns the number of events fired.
 
         Events scheduled beyond ``end_time`` stay queued, so a simulation
         can be resumed with a later deadline.
@@ -102,12 +103,15 @@ class Scheduler:
             raise ValueError(
                 "end_time %r is before now %r" % (end_time, self.clock.now)
             )
+        fired = 0
         while True:
             next_time = self.peek_time()
             if next_time is None or next_time > end_time:
                 break
             self.step()
+            fired += 1
         self.clock.advance_to(end_time)
+        return fired
 
     def run_all(self, max_events: int = 10_000_000) -> int:
         """Drain the queue completely; returns the number of events fired.

@@ -1,0 +1,40 @@
+"""District-sharded city simulation with deterministic handoff.
+
+One :class:`~repro.sim.simulation.Simulation` owns one medium and tops
+out around 400 stations; this package is the scale path.  The city is
+partitioned into fixed *districts* (a grid over the square city, cut
+along the same spatial-hash seam as the medium's index), districts are
+grouped into *shards*, and each shard steps its owned walkers in a
+struct-of-arrays batch — thousands of phones per scheduler callback.
+
+Cross-shard effects (boundary-crossing walkers, frames delivered across
+a district edge) are exchanged only at fixed epoch barriers, as records
+sorted by the shard-count-invariant key ``(sim_time, district_id,
+walker_id, sensor_id)``.  Every derived quantity is a pure function of
+``(scenario, walker_id/sensor_id)`` via a stateless counter RNG, so the
+shard count changes *where* a station is computed, never *what* — runs
+are bit-identical at any ``--shards`` value, a property the golden
+harness pins (see :mod:`repro.experiments.golden`).
+"""
+
+from repro.sim.shards.engine import (
+    SHARD_MODE_ENV,
+    SHARDS_ENV,
+    ShardedCitySim,
+    ShardRunResult,
+    resolve_shard_mode,
+    resolve_shards,
+    run_sharded,
+)
+from repro.sim.shards.scenario import ShardScenario
+
+__all__ = [
+    "SHARD_MODE_ENV",
+    "SHARDS_ENV",
+    "ShardScenario",
+    "ShardedCitySim",
+    "ShardRunResult",
+    "resolve_shard_mode",
+    "resolve_shards",
+    "run_sharded",
+]

@@ -1,0 +1,106 @@
+"""LiteHunter: the City-Hunter buffer core, scaled down per sensor.
+
+The full :class:`~repro.attacker.hunter.CityHunterAp` speaks frames on
+the shared medium; a district shard instead needs the *decision core*
+only — which SSIDs to offer a probing walker next — driven by plain
+probe/feedback records.  LiteHunter keeps the paper's two buffers:
+
+* **PB** (popularity buffer): the SSID universe ranked by weight,
+  seeded with the WiGLE-style popularity order (SSID 0 most popular)
+  and bumped by every observed hit.
+* **FB** (freshness buffer): most-recent hit SSIDs first, capped.
+
+A burst for a walker takes FB entries first, then the PB top — skipping
+everything already sent to that walker, so repeated probes walk down
+the candidate list exactly like the event-driven attacker's untried
+ranking.  All state is integer-valued and updated only from sorted
+handoff records, which makes the evolution — and :meth:`state` —
+bit-comparable across shard counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+BUCKET_POPULARITY = "P"
+BUCKET_FRESHNESS = "F"
+
+
+class LiteHunter:
+    """Per-sensor probe→burst→feedback core with PB/FB buffers."""
+
+    __slots__ = ("universe", "pb_size", "fb_size", "burst_size", "weights", "order", "fb", "sent")
+
+    def __init__(self, universe: int, pb_size: int, fb_size: int, burst_size: int):
+        self.universe = universe
+        self.pb_size = pb_size
+        self.fb_size = fb_size
+        self.burst_size = burst_size
+        # Initial weight U-s keeps the seeded order = popularity order.
+        self.weights: List[int] = [universe - s for s in range(universe)]
+        self.order: List[int] = list(range(universe))  # sorted by (-weight, ssid)
+        self.fb: List[int] = []
+        self.sent: Dict[int, Dict[int, str]] = {}
+
+    def burst_for(self, walker: int) -> Tuple[int, ...]:
+        """Next SSID burst for ``walker``: FB first, then the PB top,
+        never repeating an SSID already sent to this walker."""
+        sent = self.sent.setdefault(walker, {})
+        out: List[int] = []
+        for ssid in self.fb:
+            if len(out) >= self.burst_size:
+                break
+            if ssid not in sent:
+                sent[ssid] = BUCKET_FRESHNESS
+                out.append(ssid)
+        if len(out) < self.burst_size:
+            for ssid in self.order[: self.pb_size]:
+                if len(out) >= self.burst_size:
+                    break
+                if ssid not in sent:
+                    sent[ssid] = BUCKET_POPULARITY
+                    out.append(ssid)
+        return tuple(out)
+
+    def feedback(self, walker: int, ssid: int) -> Optional[str]:
+        """Record a hit: bump the SSID's weight, refresh FB; returns the
+        buffer the winning SSID was offered from (hit attribution)."""
+        bucket = self.sent.get(walker, {}).get(ssid)
+        w = self.weights[ssid] + 1
+        self.weights[ssid] = w
+        self.order.remove(ssid)
+        key = (-w, ssid)
+        lo, hi = 0, len(self.order)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            other = self.order[mid]
+            if (-self.weights[other], other) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.order.insert(lo, ssid)
+        if ssid in self.fb:
+            self.fb.remove(ssid)
+        self.fb.insert(0, ssid)
+        del self.fb[self.fb_size :]
+        return bucket
+
+    def untried(self, walker: int) -> frozenset:
+        """SSIDs not yet offered to ``walker`` (the shrinking untried list)."""
+        sent = self.sent.get(walker)
+        if not sent:
+            return frozenset(range(self.universe))
+        return frozenset(s for s in range(self.universe) if s not in sent)
+
+    def state(self):
+        """Canonical, hashable full state — plain ints/tuples only, so
+        digests compare across shard counts, backends and processes."""
+        return (
+            tuple(self.weights),
+            tuple(self.order),
+            tuple(self.fb),
+            tuple(
+                (walker, tuple(sorted(sent.items())))
+                for walker, sent in sorted(self.sent.items())
+            ),
+        )

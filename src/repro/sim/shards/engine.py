@@ -1,0 +1,485 @@
+"""The sharded city engine: shard drivers + deterministic exchange.
+
+:class:`ShardedCitySim` cuts the city into district-column stripes,
+runs one :class:`~repro.sim.shards.shard.ShardRuntime` per shard, and
+moves every cross-shard effect through the barrier exchange:
+
+* **X1** (after phase A): probe and feedback records to each sensor's
+  owner, migration records to each walker's next owner.
+* **X2** (after phase B): offer records to each walker's next owner,
+  buffered one epoch (the protocol's fixed response latency — itself
+  shard-count-invariant, since it applies identically at one shard).
+
+Receivers sort every batch by the shard-count-invariant
+:func:`~repro.sim.shards.handoff.sort_key` before applying, so the
+result — metrics, walker rows, hunter states, and therefore
+:meth:`ShardRunResult.digest` — is bit-identical at any shard count, in
+either execution mode:
+
+* ``inline`` — all shards stepped in this process (the default; on a
+  single-core box this is also the fast path, because the win is
+  per-shard candidate locality, not parallel scheduling).
+* ``process`` — one OS process per shard, exchanged over pipes.
+
+``REPRO_SHARDS`` / ``REPRO_SHARD_MODE`` select count and mode the same
+way ``REPRO_WORKERS`` selects executor width.  When ``REPRO_HEARTBEAT``
+is set each shard appends live progress to
+``telemetry/shard-<k>.jsonl`` for ``repro obs watch``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+import os
+import time as _time
+import traceback
+from contextlib import ExitStack
+from typing import Dict, List, Optional
+
+from repro.analysis.breakdown import BufferBreakdown, SourceBreakdown
+from repro.analysis.metrics import SessionSummary
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+from repro.obs.telemetry import maybe_heartbeat
+from repro.sim.clock import epoch_schedule
+from repro.sim.shards.scenario import ShardScenario
+from repro.sim.shards.shard import ShardRuntime
+from repro.sim.shards.soa import resolve_backend
+
+SHARDS_ENV = "REPRO_SHARDS"
+SHARD_MODE_ENV = "REPRO_SHARD_MODE"
+SHARD_MODES = ("inline", "process")
+
+#: Metric namespace stripped from golden canonical form and digests —
+#: everything under it is legitimately shard-count-dependent.
+OPS_PREFIX = "shardops."
+#: Workload namespace: integer-valued, bit-identical at any shard count.
+SIM_PREFIX = "shardsim."
+
+RESULT_SCHEMA = "repro.shard_run/v1"
+
+
+def resolve_shards(shards: Optional[int] = None) -> int:
+    """Shard count: explicit argument beats ``REPRO_SHARDS`` beats 1."""
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV, "").strip()
+        shards = int(raw) if raw else 1
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError("shard count must be >= 1, got %r" % shards)
+    return shards
+
+
+def resolve_shard_mode(mode: Optional[str] = None) -> str:
+    """Execution mode: explicit argument beats ``REPRO_SHARD_MODE``."""
+    if mode is None:
+        mode = os.environ.get(SHARD_MODE_ENV, "").strip().lower() or "inline"
+    if mode not in SHARD_MODES:
+        raise ValueError(
+            "unknown shard mode %r (have: %s)" % (mode, ", ".join(SHARD_MODES))
+        )
+    return mode
+
+
+class ShardRunResult:
+    """Everything a finished sharded run produced."""
+
+    def __init__(
+        self,
+        scenario: ShardScenario,
+        shards: int,
+        mode: str,
+        backend: str,
+        epochs: int,
+        metrics: dict,
+        summary: Dict[str, int],
+        walker_rows: Optional[dict],
+        hunter_states: Optional[dict],
+        handoff_logs: Optional[Dict[int, list]],
+        wall_phase_s: float,
+        wall_handoff_s: float,
+    ):
+        self.scenario = scenario
+        self.shards = shards
+        self.mode = mode
+        self.backend = backend
+        self.epochs = epochs
+        self.metrics = metrics
+        self.summary = summary
+        self.walker_rows = walker_rows
+        self.hunter_states = hunter_states
+        self.handoff_logs = handoff_logs
+        self.wall_phase_s = wall_phase_s
+        self.wall_handoff_s = wall_handoff_s
+
+    def digest(self) -> str:
+        """SHA-256 over the shard-count-invariant portion of the run:
+        ``shardsim.*`` metrics, the summary, and (when collected) every
+        walker row and hunter state.  The number this PR's invariance
+        gates compare at shards 1/2/4."""
+        payload = {
+            "schema": RESULT_SCHEMA,
+            "counters": {
+                k: v
+                for k, v in self.metrics.get("counters", {}).items()
+                if k.startswith(SIM_PREFIX)
+            },
+            "gauges": {
+                k: v
+                for k, v in self.metrics.get("gauges", {}).items()
+                if k.startswith(SIM_PREFIX)
+            },
+            "summary": self.summary,
+        }
+        if self.walker_rows is not None:
+            payload["walkers"] = {
+                str(w): list(row) for w, row in sorted(self.walker_rows.items())
+            }
+        if self.hunter_states is not None:
+            payload["hunters"] = {
+                str(s): state for s, state in sorted(self.hunter_states.items())
+            }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def session_summary(self) -> SessionSummary:
+        """The Table I-style row: shard walkers only broadcast-probe, so
+        every client and every catch sits in the broadcast column."""
+        probed = self.summary["probed"]
+        return SessionSummary(
+            total_clients=probed,
+            direct_clients=0,
+            broadcast_clients=probed,
+            connected_direct=0,
+            connected_broadcast=self.summary["connected"],
+        )
+
+    def source_breakdown(self) -> SourceBreakdown:
+        """All lures come from the popularity-seeded SSID ranking (the
+        WiGLE analogue); shard walkers never direct-probe."""
+        return SourceBreakdown(from_wigle=self.summary["hits"], from_direct=0)
+
+    def buffer_breakdown(self) -> BufferBreakdown:
+        """Hit attribution by offering buffer (PB vs FB)."""
+        counters = self.metrics.get("counters", {})
+        return BufferBreakdown(
+            from_popularity=int(counters.get("shardsim.hits_popularity", 0)),
+            from_freshness=int(counters.get("shardsim.hits_freshness", 0)),
+        )
+
+
+def _merge_results(
+    scenario: ShardScenario,
+    shards: int,
+    mode: str,
+    backend: str,
+    epochs: int,
+    results: List[dict],
+    wall_phase: float,
+    wall_handoff: float,
+    collect_states: bool,
+    log_handoffs: bool,
+) -> ShardRunResult:
+    """Fold per-shard finalise payloads (in shard order) into one result."""
+    engine = MetricsRegistry()
+    engine.gauge_set("shardops.shards", shards)
+    engine.timer_add("shards.phase_wall", wall_phase)
+    engine.timer_add("shards.handoff_wall", wall_handoff)
+    merged = merge_snapshots([r["metrics"] for r in results] + [engine.to_dict()])
+    counters = merged["counters"]
+    summary = {
+        "stations": scenario.stations,
+        "sensors": scenario.sensors,
+        "probed": sum(r["summary"]["probed"] for r in results),
+        "connected": sum(r["summary"]["connected"] for r in results),
+        "hits": int(counters.get("shardsim.hits", 0)),
+        "scans": int(counters.get("shardsim.scans", 0)),
+        "probes": int(counters.get("shardsim.probes", 0)),
+        "offers": int(counters.get("shardsim.offers", 0)),
+        "feedbacks": int(counters.get("shardsim.feedbacks", 0)),
+    }
+    walker_rows = hunter_states = None
+    if collect_states:
+        walker_rows = {}
+        hunter_states = {}
+        for r in results:
+            walker_rows.update(r["walker_rows"])
+            hunter_states.update(r["hunter_states"])
+    handoff_logs = (
+        {r["shard"]: r["handoff_log"] for r in results} if log_handoffs else None
+    )
+    return ShardRunResult(
+        scenario,
+        shards,
+        mode,
+        backend,
+        epochs,
+        merged,
+        summary,
+        walker_rows,
+        hunter_states,
+        handoff_logs,
+        wall_phase,
+        wall_handoff,
+    )
+
+
+def _route(outboxes: List[dict], shards: int) -> List[list]:
+    """Merge per-shard outboxes into per-destination inboxes."""
+    inboxes: List[list] = [[] for _ in range(shards)]
+    for out in outboxes:
+        for dest, records in out.items():
+            inboxes[dest].extend(records)
+    return inboxes
+
+
+def _shard_worker(
+    conn,
+    scenario: ShardScenario,
+    shard_id: int,
+    shards: int,
+    backend: Optional[str],
+    collect_states: bool,
+    log_handoffs: bool,
+) -> None:
+    """Process-mode loop: one ShardRuntime driven by pipe commands."""
+    try:
+        runtime = ShardRuntime(
+            scenario, shard_id, shards, backend=backend, log_handoffs=log_handoffs
+        )
+        duration = runtime.barriers[-1]
+        with maybe_heartbeat(
+            "shard %d/%d" % (shard_id, shards),
+            duration,
+            lambda: (runtime.sim.now, runtime.hits),
+            file_stem="shard-%d" % shard_id,
+        ):
+            while True:
+                msg = conn.recv()
+                op = msg[0]
+                if op == "a":
+                    _, epoch, migrations, offers, last = msg
+                    conn.send(("ok", runtime.run_phase_a(epoch, migrations, offers, last)))
+                elif op == "b":
+                    _, epoch, feedbacks, probes = msg
+                    conn.send(("ok", runtime.run_phase_b(epoch, feedbacks, probes)))
+                elif op == "fin":
+                    conn.send(("ok", runtime.finalize(collect_states)))
+                    return
+                else:  # pragma: no cover - protocol bug guard
+                    raise RuntimeError("unknown shard command %r" % (op,))
+    except Exception:
+        try:
+            conn.send(("err", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class ShardedCitySim:
+    """Run one :class:`ShardScenario` across district shards."""
+
+    def __init__(
+        self,
+        scenario: ShardScenario,
+        shards: Optional[int] = None,
+        mode: Optional[str] = None,
+        backend: Optional[str] = None,
+        collect_states: bool = True,
+        log_handoffs: bool = False,
+    ):
+        self.scenario = scenario
+        self.shards = resolve_shards(shards)
+        self.mode = resolve_shard_mode(mode)
+        self.backend = resolve_backend(backend)
+        self.collect_states = collect_states
+        self.log_handoffs = log_handoffs
+        self.epochs = len(epoch_schedule(scenario.duration, scenario.epoch_s)) - 1
+
+    def run(self) -> ShardRunResult:
+        if self.mode == "process" and self.shards > 1:
+            return self._run_process()
+        return self._run_inline()
+
+    # -- inline mode ------------------------------------------------------
+
+    def _run_inline(self) -> ShardRunResult:
+        shards = self.shards
+        runtimes = [
+            ShardRuntime(
+                self.scenario,
+                k,
+                shards,
+                backend=self.backend,
+                log_handoffs=self.log_handoffs,
+            )
+            for k in range(shards)
+        ]
+        duration = runtimes[0].barriers[-1]
+        migrations: List[list] = [[] for _ in range(shards)]
+        offers: List[list] = [[] for _ in range(shards)]
+        wall_phase = wall_handoff = 0.0
+        with ExitStack() as stack:
+            for k, runtime in enumerate(runtimes):
+                stack.enter_context(
+                    maybe_heartbeat(
+                        "shard %d/%d" % (k, shards),
+                        duration,
+                        lambda rt=runtime: (rt.sim.now, rt.hits),
+                        file_stem="shard-%d" % k,
+                    )
+                )
+            for epoch in range(self.epochs):
+                last = epoch == self.epochs - 1
+                t0 = _time.perf_counter()
+                outs_a = [
+                    rt.run_phase_a(epoch, migrations[k], offers[k], last)
+                    for k, rt in enumerate(runtimes)
+                ]
+                t1 = _time.perf_counter()
+                # X1: probes + feedbacks to sensor owners, migrations to
+                # each walker's next owner.
+                sensor_in = _route(outs_a, shards)
+                migrations = [[] for _ in range(shards)]
+                probes_in: List[list] = [[] for _ in range(shards)]
+                feedbacks_in: List[list] = [[] for _ in range(shards)]
+                for dest in range(shards):
+                    for rec in sensor_in[dest]:
+                        if rec[0] == "p":
+                            probes_in[dest].append(rec)
+                        elif rec[0] == "f":
+                            feedbacks_in[dest].append(rec)
+                        else:
+                            migrations[dest].append(rec)
+                t2 = _time.perf_counter()
+                outs_b = [
+                    rt.run_phase_b(epoch, feedbacks_in[k], probes_in[k])
+                    for k, rt in enumerate(runtimes)
+                ]
+                t3 = _time.perf_counter()
+                # X2: offers buffered for the next epoch's phase A.
+                offers = _route(outs_b, shards) if not last else [[] for _ in range(shards)]
+                wall_phase += (t1 - t0) + (t3 - t2)
+                wall_handoff += (t2 - t1) + (_time.perf_counter() - t3)
+            results = [rt.finalize(self.collect_states) for rt in runtimes]
+        return _merge_results(
+            self.scenario,
+            shards,
+            self.mode,
+            self.backend,
+            self.epochs,
+            results,
+            wall_phase,
+            wall_handoff,
+            self.collect_states,
+            self.log_handoffs,
+        )
+
+    # -- process mode -----------------------------------------------------
+
+    def _run_process(self) -> ShardRunResult:
+        shards = self.shards
+        parents = []
+        procs = []
+        for k in range(shards):
+            parent, child = mp.Pipe()
+            proc = mp.Process(
+                target=_shard_worker,
+                args=(
+                    child,
+                    self.scenario,
+                    k,
+                    shards,
+                    self.backend,
+                    self.collect_states,
+                    self.log_handoffs,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            parents.append(parent)
+            procs.append(proc)
+        migrations: List[list] = [[] for _ in range(shards)]
+        offers: List[list] = [[] for _ in range(shards)]
+        wall_phase = wall_handoff = 0.0
+        try:
+            for epoch in range(self.epochs):
+                last = epoch == self.epochs - 1
+                t0 = _time.perf_counter()
+                for k in range(shards):
+                    parents[k].send(("a", epoch, migrations[k], offers[k], last))
+                outs_a = [self._recv(parents[k], k) for k in range(shards)]
+                t1 = _time.perf_counter()
+                sensor_in = _route(outs_a, shards)
+                migrations = [[] for _ in range(shards)]
+                probes_in: List[list] = [[] for _ in range(shards)]
+                feedbacks_in: List[list] = [[] for _ in range(shards)]
+                for dest in range(shards):
+                    for rec in sensor_in[dest]:
+                        if rec[0] == "p":
+                            probes_in[dest].append(rec)
+                        elif rec[0] == "f":
+                            feedbacks_in[dest].append(rec)
+                        else:
+                            migrations[dest].append(rec)
+                t2 = _time.perf_counter()
+                for k in range(shards):
+                    parents[k].send(("b", epoch, feedbacks_in[k], probes_in[k]))
+                outs_b = [self._recv(parents[k], k) for k in range(shards)]
+                t3 = _time.perf_counter()
+                offers = (
+                    _route(outs_b, shards) if not last else [[] for _ in range(shards)]
+                )
+                wall_phase += (t1 - t0) + (t3 - t2)
+                wall_handoff += (t2 - t1) + (_time.perf_counter() - t3)
+            for k in range(shards):
+                parents[k].send(("fin",))
+            results = [self._recv(parents[k], k) for k in range(shards)]
+        finally:
+            for parent in parents:
+                parent.close()
+            for proc in procs:
+                proc.join(timeout=30.0)
+                if proc.is_alive():  # pragma: no cover - hang guard
+                    proc.terminate()
+        return _merge_results(
+            self.scenario,
+            shards,
+            self.mode,
+            self.backend,
+            self.epochs,
+            results,
+            wall_phase,
+            wall_handoff,
+            self.collect_states,
+            self.log_handoffs,
+        )
+
+    @staticmethod
+    def _recv(parent, shard_id: int):
+        status, payload = parent.recv()
+        if status != "ok":
+            raise RuntimeError("shard %d failed:\n%s" % (shard_id, payload))
+        return payload
+
+
+def run_sharded(
+    scenario: ShardScenario,
+    shards: Optional[int] = None,
+    mode: Optional[str] = None,
+    backend: Optional[str] = None,
+    collect_states: bool = True,
+    log_handoffs: bool = False,
+) -> ShardRunResult:
+    """One-call front door: resolve knobs, run, return the result."""
+    return ShardedCitySim(
+        scenario,
+        shards=shards,
+        mode=mode,
+        backend=backend,
+        collect_states=collect_states,
+        log_handoffs=log_handoffs,
+    ).run()

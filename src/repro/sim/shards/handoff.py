@@ -1,0 +1,73 @@
+"""The deterministic cross-shard handoff protocol's record format.
+
+All cross-shard effects travel as plain tuples exchanged at epoch
+barriers::
+
+    (kind, time, district, walker, sensor, payload)
+
+* ``"m"`` migrate — a walker's ownership moves; payload is its
+  :data:`~repro.sim.shards.soa.DynamicRow`.
+* ``"p"`` probe — a walker's scan reached a sensor; no payload.
+* ``"o"`` offer — a sensor's SSID burst answering a probe; payload is
+  the burst tuple.
+* ``"f"`` feedback — a walker joined an offered SSID; payload is the
+  winning SSID.
+
+Every field in the sort key is a *workload* coordinate — sim time, the
+fixed district grid, walker id, sensor id — never a shard id or
+arrival order, so the processing order of any record batch is
+identical at every shard count.  That invariance is the whole protocol:
+receivers sort, then apply; ties are impossible because two records of
+the same kind at the same time differ in walker or sensor id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+MIGRATE = "m"
+PROBE = "p"
+OFFER = "o"
+FEEDBACK = "f"
+
+#: Sensor field of records that have no sensor (migrations).
+NO_SENSOR = -1
+
+Record = Tuple  # (kind, time, district, walker, sensor, *payload)
+
+
+def migrate(time: float, district: int, walker: int, row) -> Record:
+    """Ownership transfer carrying the walker's dynamic state."""
+    return (MIGRATE, time, district, walker, NO_SENSOR, row)
+
+
+def probe(time: float, district: int, walker: int, sensor: int) -> Record:
+    """A walker's active scan heard by ``sensor``."""
+    return (PROBE, time, district, walker, sensor)
+
+
+def offer(
+    time: float, district: int, walker: int, sensor: int, burst: Tuple[int, ...]
+) -> Record:
+    """A sensor's SSID burst answering a probe."""
+    return (OFFER, time, district, walker, sensor, burst)
+
+
+def feedback(time: float, district: int, walker: int, sensor: int, ssid: int) -> Record:
+    """A walker joined ``ssid`` offered by ``sensor``."""
+    return (FEEDBACK, time, district, walker, sensor, ssid)
+
+
+def sort_key(record: Record) -> Tuple[float, int, int, int]:
+    """(time, district, walker, sensor) — strictly shard-count-invariant."""
+    return (record[1], record[2], record[3], record[4])
+
+
+def sorted_records(records: Iterable[Record]) -> List[Record]:
+    """Records in canonical processing order."""
+    return sorted(records, key=sort_key)
+
+
+def applied_key(record: Record) -> Tuple[str, float, int, int, int]:
+    """Compact identity of an applied record, for the handoff log."""
+    return (record[0], record[1], record[2], record[3], record[4])

@@ -1,0 +1,201 @@
+"""Struct-of-arrays walker state for one shard.
+
+The event-driven simulator keeps one :class:`~repro.devices.phone.Phone`
+object per station; at district scale that representation is the
+bottleneck (object headers, per-phone scheduler events, per-call
+position math).  :class:`WalkerBatch` flips the layout: every per-walker
+quantity is one array column, so a shard steps thousands of walkers per
+scheduler callback with vector arithmetic.
+
+Two backends share the exact same semantics:
+
+* ``numpy`` — the default whenever numpy imports; column math runs as
+  float64 array expressions.
+* ``python`` — stdlib-only fallback (plain lists + the scalar helpers
+  in :mod:`repro.mobility.batch`).
+
+Only elementwise float operations are used, so the two backends — and
+any shard partition of the population — produce bit-identical results;
+``REPRO_SHARDS_BACKEND`` forces a backend and the differential tests
+pin the equivalence.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mobility.batch import position_scalar, positions_vec
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    np = None  # type: ignore[assignment]
+
+BACKEND_ENV = "REPRO_SHARDS_BACKEND"
+BACKENDS = ("numpy", "python")
+
+NO_SENSOR = -1
+NO_SSID = -1
+
+#: One walker's transferable dynamic state, as plain picklable scalars:
+#: (connected, conn_time, conn_sensor, conn_ssid, scans, probes, offers).
+DynamicRow = Tuple[bool, float, int, int, int, int, int]
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Batch backend: explicit argument, else ``REPRO_SHARDS_BACKEND``,
+    else ``numpy`` when importable (``python`` otherwise)."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if not backend or backend == "auto":
+        return "numpy" if np is not None else "python"
+    if backend not in BACKENDS:
+        raise ValueError(
+            "unknown shards backend %r (have: %s)" % (backend, ", ".join(BACKENDS))
+        )
+    if backend == "numpy" and np is None:
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    return backend
+
+
+class WalkerBatch:
+    """Column store of every walker's static parameters + dynamic state.
+
+    Static columns are derived for the *full* population in every shard
+    (they are pure functions of the scenario, see
+    :mod:`repro.sim.shards.srng`), so any shard can route records for
+    any walker.  Dynamic columns are only authoritative for the rows a
+    shard currently *owns*; ownership transfers carry
+    :data:`DynamicRow` tuples through the handoff protocol.
+    """
+
+    __slots__ = (
+        "backend",
+        "n",
+        "t0",
+        "t_exit",
+        "x0",
+        "y0",
+        "vx",
+        "vy",
+        "period",
+        "phase",
+        "pnl_open",
+        "connected",
+        "conn_time",
+        "conn_sensor",
+        "conn_ssid",
+        "scans",
+        "probes",
+        "offers",
+    )
+
+    def __init__(
+        self,
+        backend: str,
+        t0,
+        t_exit,
+        x0,
+        y0,
+        vx,
+        vy,
+        period,
+        phase,
+        pnl_open: Tuple[frozenset, ...],
+    ):
+        self.backend = backend
+        self.n = len(pnl_open)
+        self.t0 = t0
+        self.t_exit = t_exit
+        self.x0 = x0
+        self.y0 = y0
+        self.vx = vx
+        self.vy = vy
+        self.period = period
+        self.phase = phase
+        self.pnl_open = pnl_open
+        if backend == "numpy":
+            self.connected = np.zeros(self.n, dtype=bool)
+            self.conn_time = np.full(self.n, -1.0, dtype=np.float64)
+            self.conn_sensor = np.full(self.n, NO_SENSOR, dtype=np.int64)
+            self.conn_ssid = np.full(self.n, NO_SSID, dtype=np.int64)
+            self.scans = np.zeros(self.n, dtype=np.int64)
+            self.probes = np.zeros(self.n, dtype=np.int64)
+            self.offers = np.zeros(self.n, dtype=np.int64)
+        else:
+            self.connected = [False] * self.n
+            self.conn_time = [-1.0] * self.n
+            self.conn_sensor = [NO_SENSOR] * self.n
+            self.conn_ssid = [NO_SSID] * self.n
+            self.scans = [0] * self.n
+            self.probes = [0] * self.n
+            self.offers = [0] * self.n
+
+    # -- kinematics -------------------------------------------------------
+
+    def positions_at(self, t: float, idx: Sequence[int]):
+        """Positions of the walkers in ``idx`` at time ``t`` (two columns)."""
+        if self.backend == "numpy":
+            sel = np.asarray(idx, dtype=np.int64)
+            return positions_vec(
+                t,
+                self.t0[sel],
+                self.t_exit[sel],
+                self.x0[sel],
+                self.y0[sel],
+                self.vx[sel],
+                self.vy[sel],
+            )
+        xs: List[float] = []
+        ys: List[float] = []
+        for i in idx:
+            x, y = self.position_of(i, t)
+            xs.append(x)
+            ys.append(y)
+        return xs, ys
+
+    def position_of(self, i: int, t: float) -> Tuple[float, float]:
+        """Scalar position of walker ``i`` at time ``t`` (both backends)."""
+        return position_scalar(
+            t,
+            float(self.t0[i]),
+            float(self.t_exit[i]),
+            float(self.x0[i]),
+            float(self.y0[i]),
+            float(self.vx[i]),
+            float(self.vy[i]),
+        )
+
+    # -- dynamic-state transfer ------------------------------------------
+
+    def dynamic_row(self, i: int) -> DynamicRow:
+        """Walker ``i``'s dynamic state as plain picklable scalars."""
+        return (
+            bool(self.connected[i]),
+            float(self.conn_time[i]),
+            int(self.conn_sensor[i]),
+            int(self.conn_ssid[i]),
+            int(self.scans[i]),
+            int(self.probes[i]),
+            int(self.offers[i]),
+        )
+
+    def apply_row(self, i: int, row: DynamicRow) -> None:
+        """Install a handed-off dynamic row for newly-owned walker ``i``."""
+        (
+            self.connected[i],
+            self.conn_time[i],
+            self.conn_sensor[i],
+            self.conn_ssid[i],
+            self.scans[i],
+            self.probes[i],
+            self.offers[i],
+        ) = row
+
+    def connect(self, i: int, t: float, sensor: int, ssid: int) -> None:
+        """Mark walker ``i`` lured by ``sensor`` on ``ssid`` at time ``t``."""
+        self.connected[i] = True
+        self.conn_time[i] = t
+        self.conn_sensor[i] = sensor
+        self.conn_ssid[i] = ssid

@@ -121,12 +121,14 @@ class Simulation:
                     entity.start(self)
         self.metrics.gauge_set("sim.entities", len(self._entities))
 
-    def run(self, until: float) -> None:
-        """Start entities (once) and run events up to time ``until``."""
+    def run(self, until: float) -> int:
+        """Start entities (once) and run events up to time ``until``;
+        returns the number of events fired (matching :meth:`run_all`)."""
         self._start_entities()
         with span(self, "sim.run"):
-            self.scheduler.run_until(until)
+            fired = self.scheduler.run_until(until)
         self._snapshot_health()
+        return fired
 
     def run_all(self) -> int:
         """Start entities and drain every queued event."""
