@@ -58,11 +58,15 @@ def _scenario(stations):
     )
 
 
-def _run_point(stations, shards):
+def _run_point(stations, shards, epoch_trace=False):
     scenario = _scenario(stations)
     start = time.perf_counter()
     result = run_sharded(
-        scenario, shards=shards, mode="inline", collect_states=False
+        scenario,
+        shards=shards,
+        mode="inline",
+        collect_states=False,
+        epoch_trace=epoch_trace,
     )
     wall = time.perf_counter() - start
     # stations * epochs = station-steps performed, a size-invariant rate
@@ -79,12 +83,17 @@ def _run_point(stations, shards):
     }
 
 
-def run_grid():
+def run_grid(epoch_trace=False):
     grid = []
     for stations in STATION_GRID:
         base = None
         for shards in SHARD_GRID:
-            point = _run_point(stations, shards)
+            # Trace only the largest shard count: one-shard points have
+            # no handoff and each traced point overwrites epochs-*.jsonl.
+            point = _run_point(
+                stations, shards,
+                epoch_trace=epoch_trace and shards == max(SHARD_GRID),
+            )
             if base is None:
                 base = point
             if point["digest"] != base["digest"]:
@@ -135,9 +144,15 @@ def main(argv=None):
         help="station count the --assert-speedup contract applies at "
         "(default 2000)",
     )
+    parser.add_argument(
+        "--epoch-trace",
+        action="store_true",
+        help="record per-epoch barrier spans for the max-shard points and "
+        "export epoch_trace.json (Chrome trace-event JSON)",
+    )
     args = parser.parse_args(argv)
 
-    grid = run_grid()
+    grid = run_grid(epoch_trace=args.epoch_trace)
     doc = {
         "schema": SCHEMA,
         "python": platform.python_version(),
@@ -154,6 +169,16 @@ def main(argv=None):
     artifact.write_text(json.dumps(doc, indent=2) + "\n")
     emit("bench_shards", render(grid))
     print(f"\nwrote {artifact}")
+
+    if args.epoch_trace:
+        from repro.obs.epochs import epoch_trace_dir, load_epoch_dir, write_epoch_trace
+
+        records = load_epoch_dir(epoch_trace_dir(out_dir()))
+        if records:
+            trace = write_epoch_trace(records, out_dir() / "epoch_trace.json")
+            print(f"wrote {trace}")
+        else:
+            print("no epoch spans recorded (all traced points single-shard?)")
 
     if args.assert_speedup is not None:
         gated = [

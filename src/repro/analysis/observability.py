@@ -169,3 +169,46 @@ def trace_window_counts(
 ) -> Dict[str, int]:
     """Per-kind record counts inside ``[t0, t1)`` of a live trace."""
     return dict(Counter(r.kind for r in trace.between(t0, t1)))
+
+
+def _label_values(gauges: Dict[str, float], name: str, label: str) -> List[float]:
+    out = []
+    for key, value in gauges.items():
+        base, labels = parse_key(key)
+        if base == name and label in labels:
+            out.append(float(value))
+    return out
+
+
+def shard_breakdown(snapshot: dict) -> Optional[dict]:
+    """Sharding summary of a metrics snapshot, or None when the batch
+    never ran the sharded engine.
+
+    Ownership spread comes from the per-shard ``shardops.owned_final``
+    gauges (absent from golden-canonicalised documents, in which case
+    only the workload totals are reported); migration and offer volumes
+    come from the ``shardops.``/``shardsim.`` counters.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if not any(
+        k.startswith(("shardsim.", "shardops."))
+        for k in list(counters) + list(gauges)
+    ):
+        return None
+    owned = sorted(_label_values(gauges, "shardops.owned_final", "shard"))
+    out = {
+        "shards": int(gauges.get("shardops.shards", 0)) or None,
+        "owned_min": int(owned[0]) if owned else None,
+        "owned_median": int(owned[len(owned) // 2]) if owned else None,
+        "owned_max": int(owned[-1]) if owned else None,
+        "migrations_in": int(counters.get("shardops.migrations_in", 0)),
+        "migrations_out": int(counters.get("shardops.migrations_out", 0)),
+        "scans": int(counters.get("shardsim.scans", 0)),
+        "probes": int(counters.get("shardsim.probes", 0)),
+        "offers": int(counters.get("shardsim.offers", 0)),
+        "offers_stale": int(counters.get("shardsim.offers_stale", 0)),
+        "feedbacks": int(counters.get("shardsim.feedbacks", 0)),
+        "hits": int(counters.get("shardsim.hits", 0)),
+    }
+    return out

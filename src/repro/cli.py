@@ -15,8 +15,11 @@ any code:
 * ``obs``      — inspect a ``metrics.json`` artefact (summarize /
   export events as JSONL / top-N SSIDs by hits), reconstruct a client's
   hunt story from a lineage trace, render the hot-handler profile,
-  watch live worker heartbeats, or gate a benchmark against its
-  committed baseline (see OBSERVABILITY.md).
+  watch live worker heartbeats (``obs watch``) or the whole fleet with
+  per-shard epoch stats and run health (``obs top``), export per-epoch
+  barrier spans as a Perfetto-viewable trace (``obs shard-trace``),
+  regenerate the Prometheus text exposition (``obs prom``), or gate a
+  benchmark against its committed baseline (see OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -204,6 +207,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         pbfb_timeline,
         provenance_breakdown,
         run_events,
+        shard_breakdown,
         sink_status,
         top_hit_ssids,
     )
@@ -246,6 +250,38 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             ))
         swaps = sum(len(pbfb_timeline(r["metrics"])) for r in doc["runs"])
         print(f"  PB/FB timeline points across runs: {swaps}")
+        shard = shard_breakdown(merged)
+        if shard is not None:
+            shards = shard["shards"]
+            print(
+                "  sharding: %s shard(s)"
+                % (shards if shards is not None else "?")
+            )
+            if shard["owned_min"] is not None:
+                print(
+                    "    owned walkers per shard: min %d  median %d  max %d"
+                    % (
+                        shard["owned_min"],
+                        shard["owned_median"],
+                        shard["owned_max"],
+                    )
+                )
+            print(
+                "    migrations in/out: %d/%d"
+                % (shard["migrations_in"], shard["migrations_out"])
+            )
+            print(
+                "    scans %d  probes %d  offers %d (stale %d)  "
+                "feedbacks %d  hits %d"
+                % (
+                    shard["scans"],
+                    shard["probes"],
+                    shard["offers"],
+                    shard["offers_stale"],
+                    shard["feedbacks"],
+                    shard["hits"],
+                )
+            )
         status = sink_status(doc)
         trace_cap = (
             f"cap {status['trace.cap']:g}" if status["trace.cap"] else "cap ?"
@@ -377,6 +413,78 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
             return 1 if any(r["stalled"] for r in rows) else 0
         time.sleep(args.interval)
         print()
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.telemetry import (
+        fleet_snapshot,
+        heartbeat_dir,
+        render_top,
+    )
+
+    directory = args.dir or heartbeat_dir()
+    while True:
+        doc = fleet_snapshot(
+            directory,
+            stall_after_s=args.stall_after,
+            straggler_threshold=args.straggler_threshold,
+            imbalance_threshold=args.imbalance_threshold,
+        )
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_top(doc))
+        if args.once:
+            return 0 if doc["health"]["healthy"] else 1
+        time.sleep(args.interval)
+        print()
+
+
+def _cmd_obs_shard_trace(args: argparse.Namespace) -> int:
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.epochs import load_epoch_dir, write_epoch_trace
+    from repro.obs.telemetry import heartbeat_dir
+
+    directory = args.dir or heartbeat_dir()
+    records = load_epoch_dir(directory)
+    if not records:
+        print(
+            f"no epochs-*.jsonl files under {directory} (run a sharded "
+            "scenario with REPRO_EPOCH_TRACE=1 first, or pass --dir)",
+            file=sys.stderr,
+        )
+        return 1
+    path = write_epoch_trace(records, args.out or artifact_path("epoch_trace"))
+    spans = sum(len(r) for r in records.values())
+    print(
+        f"{spans} epoch spans across {len(records)} shard(s) written to "
+        f"{path} (Chrome trace-event JSON; open in Perfetto)"
+    )
+    return 0
+
+
+def _cmd_obs_prom(args: argparse.Namespace) -> int:
+    from repro.analysis.observability import load_metrics
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.prom import validate_prom_text, write_prom
+
+    path = args.path or artifact_path("metrics")
+    try:
+        doc = load_metrics(path)
+    except FileNotFoundError:
+        print(f"no metrics artefact at {path} (run a batch first, or pass "
+              "--path)", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"invalid metrics artefact {path}: {exc}", file=sys.stderr)
+        return 1
+    out = args.out or artifact_path("metrics", ".prom")
+    written = write_prom(doc, out)
+    samples = validate_prom_text(written.read_text())
+    print(f"{samples} exposition samples written to {written}")
+    return 0
 
 
 def _cmd_obs_bench(args: argparse.Namespace) -> int:
@@ -630,6 +738,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh period in follow mode (default 5)",
     )
     obs_watch.set_defaults(func=_cmd_obs_watch)
+
+    obs_fleet = obs_sub.add_parser(
+        "top",
+        help="live fleet dashboard: heartbeats + per-shard epoch stats "
+             "+ run health",
+    )
+    obs_fleet.add_argument(
+        "--dir",
+        help="telemetry directory (default: telemetry/ in the resolved "
+             "artefact directory)",
+    )
+    obs_fleet.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (non-zero status when the run "
+             "is stalled or imbalanced)",
+    )
+    obs_fleet.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable fleet snapshot instead of tables",
+    )
+    obs_fleet.add_argument(
+        "--stall-after", type=float, default=60.0, metavar="S",
+        help="flag a worker/shard silent for more than S seconds "
+             "(default 60)",
+    )
+    obs_fleet.add_argument(
+        "--interval", type=float, default=5.0, metavar="S",
+        help="refresh period in follow mode (default 5)",
+    )
+    obs_fleet.add_argument(
+        "--straggler-threshold", type=float, default=4.0, metavar="R",
+        help="flag when the slowest shard's mean phase time exceeds R x "
+             "the median (default 4)",
+    )
+    obs_fleet.add_argument(
+        "--imbalance-threshold", type=float, default=4.0, metavar="R",
+        help="flag when one shard's handoff volume exceeds R x the mean "
+             "(default 4)",
+    )
+    obs_fleet.set_defaults(func=_cmd_obs_top)
+
+    obs_shard_trace = obs_sub.add_parser(
+        "shard-trace",
+        help="export per-epoch barrier spans as Chrome trace-event JSON",
+    )
+    obs_shard_trace.add_argument(
+        "--dir",
+        help="telemetry directory holding epochs-*.jsonl (default: "
+             "telemetry/ in the resolved artefact directory)",
+    )
+    obs_shard_trace.add_argument(
+        "--out",
+        help="trace file to write (default: epoch_trace.json in the "
+             "resolved artefact directory)",
+    )
+    obs_shard_trace.set_defaults(func=_cmd_obs_shard_trace)
+
+    obs_prom = obs_sub.add_parser(
+        "prom",
+        help="regenerate the Prometheus text exposition from metrics.json",
+    )
+    obs_prom.add_argument(
+        "--path",
+        help="metrics artefact to read (default: metrics.json in the "
+             "resolved artefact directory)",
+    )
+    obs_prom.add_argument(
+        "--out",
+        help="exposition file to write (default: metrics.prom in the "
+             "resolved artefact directory)",
+    )
+    obs_prom.set_defaults(func=_cmd_obs_prom)
 
     obs_bench = obs_sub.add_parser(
         "bench", help="gate a benchmark artefact against its baseline"

@@ -1028,6 +1028,13 @@ def write_metrics(
     ensure_artifact_dir()
     path = metrics_path(name)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # Scrape-able twin of the JSON artefact: same merged counters and
+    # gauges in Prometheus text exposition format, for node_exporter's
+    # textfile collector or a CI health check (``repro obs prom``
+    # regenerates it from the JSON on demand).
+    from repro.obs.prom import write_prom
+
+    write_prom(doc, path.with_suffix(".prom"))
     return path
 
 

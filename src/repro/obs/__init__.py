@@ -9,9 +9,11 @@ the timings and metrics writers.
 On top of those sit the opt-in deep-observability layers (see
 OBSERVABILITY.md): causal :mod:`~repro.obs.lineage` tracing with Chrome
 trace-event export, the per-handler :mod:`~repro.obs.profiler`, live
-executor heartbeats in :mod:`~repro.obs.telemetry`, and the
-:mod:`~repro.obs.bench` regression gate CI runs against committed
-baselines.
+executor heartbeats and the fleet aggregator in
+:mod:`~repro.obs.telemetry`, per-epoch barrier spans for the sharded
+engine in :mod:`~repro.obs.epochs`, the Prometheus text exposition in
+:mod:`~repro.obs.prom`, and the :mod:`~repro.obs.bench` regression gate
+CI runs against committed baselines.
 """
 
 from repro.obs.artifacts import (
@@ -45,6 +47,16 @@ from repro.obs.bench import (
     extract_bench_metrics,
     render_bench_report,
 )
+from repro.obs.epochs import (
+    EPOCH_TRACE_ENV,
+    EpochTracer,
+    epoch_trace_doc,
+    load_epoch_dir,
+    maybe_epoch_tracer,
+    read_epoch_records,
+    resolve_epoch_trace,
+    write_epoch_trace,
+)
 from repro.obs.lineage import (
     LINEAGE_ENV,
     LineageTrace,
@@ -65,12 +77,24 @@ from repro.obs.profiler import (
     write_collapsed,
     write_profile,
 )
+from repro.obs.prom import (
+    PROM_ARTIFACT,
+    parse_prom_text,
+    prom_lines,
+    render_prom,
+    validate_prom_text,
+    write_prom,
+)
 from repro.obs.spans import NullSpan, Span, maybe_span, span, timer
 from repro.obs.telemetry import (
     HEARTBEAT_ENV,
     HeartbeatWriter,
+    clear_heartbeats,
+    fleet_snapshot,
     heartbeat_dir,
+    maybe_heartbeat,
     read_heartbeats,
+    render_top,
     render_watch,
     watch_snapshot,
 )
@@ -115,10 +139,28 @@ __all__ = [
     "render_hot_table",
     "write_collapsed",
     "write_profile",
+    "EPOCH_TRACE_ENV",
+    "EpochTracer",
+    "epoch_trace_doc",
+    "load_epoch_dir",
+    "maybe_epoch_tracer",
+    "read_epoch_records",
+    "resolve_epoch_trace",
+    "write_epoch_trace",
+    "PROM_ARTIFACT",
+    "parse_prom_text",
+    "prom_lines",
+    "render_prom",
+    "validate_prom_text",
+    "write_prom",
     "HEARTBEAT_ENV",
     "HeartbeatWriter",
+    "clear_heartbeats",
+    "fleet_snapshot",
     "heartbeat_dir",
+    "maybe_heartbeat",
     "read_heartbeats",
+    "render_top",
     "render_watch",
     "watch_snapshot",
     "BENCH_TOLERANCE_DEFAULT",

@@ -1,0 +1,248 @@
+"""Prometheus text-format exposition of the metrics artefact.
+
+``metrics.json`` is the batch's canonical record, but external scrapers
+and dashboards speak the Prometheus exposition format.  This module
+maps the registry's sections onto it:
+
+* counters  -> ``repro_<name>_total`` (``# TYPE ... counter``);
+* gauges    -> ``repro_<name>`` (``# TYPE ... gauge``);
+* histograms -> classic Prometheus histograms: cumulative
+  ``_bucket{le="..."}`` samples ending in ``le="+Inf"``, plus ``_sum``
+  and ``_count``;
+* timers    -> ``repro_<name>_seconds_total`` and
+  ``repro_<name>_calls_total`` counter pairs.
+
+Labelled registry keys (``name{"shard":"2"}``) become Prometheus
+labels with escaped values.  Series are deliberately not exported —
+exposition is a point-in-time snapshot, not a time-series transport.
+
+The executor writes ``<artifact_dir>/metrics.prom`` next to every
+``metrics.json`` (:func:`repro.experiments.parallel.write_metrics`);
+``repro obs prom`` regenerates it from an existing artefact.  Both are
+pure functions of the document, so the snapshot can be re-derived at
+any time — and the round-trip contract (every counter and gauge in
+``metrics.json`` appears in ``metrics.prom`` with the same value) is
+asserted by ``tests/test_prom.py`` via :func:`parse_prom_text`.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.registry import parse_key
+
+PROM_PREFIX = "repro"
+PROM_ARTIFACT = "metrics.prom"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def sanitize_name(name: str, prefix: str = PROM_PREFIX) -> str:
+    """Map a registry metric name onto a legal Prometheus name."""
+    body = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    out = f"{prefix}_{body}" if prefix else body
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: Dict[str, str]) -> str:
+    """``{k="v",...}`` with canonical key order, empty string if none."""
+    if not labels:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (re.sub(r"[^a-zA-Z0-9_]", "_", k), _escape_label(str(v)))
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prom_sample_key(
+    key: str, kind: str = "counter", prefix: str = PROM_PREFIX
+) -> str:
+    """The exposition sample name+labels one registry key maps to.
+
+    ``kind`` is ``counter``/``gauge``; this is what the round-trip test
+    uses to find a ``metrics.json`` entry inside ``metrics.prom``.
+    """
+    name, labels = parse_key(key)
+    base = sanitize_name(name, prefix)
+    if kind == "counter":
+        base += "_total"
+    return base + format_labels(labels)
+
+
+def prom_lines(snapshot: dict, prefix: str = PROM_PREFIX) -> List[str]:
+    """Exposition lines for one registry snapshot (no trailing newline)."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def declare(name: str, prom_type: str) -> None:
+        if name in typed:
+            return
+        typed[name] = prom_type
+        lines.append("# TYPE %s %s" % (name, prom_type))
+
+    # Group by exposition name so one TYPE header covers every label set.
+    counters = snapshot.get("counters", {})
+    grouped: Dict[str, List[Tuple[str, float]]] = {}
+    for key in sorted(counters):
+        name, labels = parse_key(key)
+        base = sanitize_name(name, prefix) + "_total"
+        grouped.setdefault(base, []).append(
+            (format_labels(labels), counters[key])
+        )
+    for base in sorted(grouped):
+        declare(base, "counter")
+        for label_str, value in grouped[base]:
+            lines.append("%s%s %s" % (base, label_str, _format_value(value)))
+
+    gauges = snapshot.get("gauges", {})
+    grouped = {}
+    for key in sorted(gauges):
+        name, labels = parse_key(key)
+        base = sanitize_name(name, prefix)
+        grouped.setdefault(base, []).append(
+            (format_labels(labels), gauges[key])
+        )
+    for base in sorted(grouped):
+        declare(base, "gauge")
+        for label_str, value in grouped[base]:
+            lines.append("%s%s %s" % (base, label_str, _format_value(value)))
+
+    for key in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][key]
+        name, labels = parse_key(key)
+        base = sanitize_name(name, prefix)
+        declare(base, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            bucket_labels = dict(labels, le=_format_value(bound))
+            lines.append(
+                "%s_bucket%s %d"
+                % (base, format_labels(bucket_labels), cumulative)
+            )
+        cumulative += hist["counts"][len(hist["bounds"])]
+        lines.append(
+            "%s_bucket%s %d"
+            % (base, format_labels(dict(labels, le="+Inf")), cumulative)
+        )
+        lines.append(
+            "%s_sum%s %s"
+            % (base, format_labels(labels), _format_value(hist["sum"]))
+        )
+        lines.append(
+            "%s_count%s %d" % (base, format_labels(labels), hist["count"])
+        )
+
+    for key in sorted(snapshot.get("timers", {})):
+        entry = snapshot["timers"][key]
+        name, labels = parse_key(key)
+        base = sanitize_name(name, prefix)
+        label_str = format_labels(labels)
+        declare(base + "_seconds_total", "counter")
+        lines.append(
+            "%s_seconds_total%s %s"
+            % (base, label_str, _format_value(entry.get("total_s", 0.0)))
+        )
+        declare(base + "_calls_total", "counter")
+        lines.append(
+            "%s_calls_total%s %s"
+            % (base, label_str, _format_value(entry.get("count", 0)))
+        )
+    return lines
+
+
+def render_prom(doc_or_snapshot: dict, prefix: str = PROM_PREFIX) -> str:
+    """Full exposition text for a metrics artefact document (its merged
+    snapshot) or a bare registry snapshot."""
+    snapshot = doc_or_snapshot.get("merged", doc_or_snapshot)
+    return "\n".join(prom_lines(snapshot, prefix)) + "\n"
+
+
+def write_prom(
+    doc_or_snapshot: dict,
+    path: Optional[Union[str, pathlib.Path]] = None,
+) -> pathlib.Path:
+    """Write the exposition snapshot; default path is
+    ``<artifact_dir>/metrics.prom``."""
+    if path is None:
+        from repro.obs.artifacts import artifact_dir
+
+        path = artifact_dir() / PROM_ARTIFACT
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prom(doc_or_snapshot))
+    return path
+
+
+# -- validation / parse-back ------------------------------------------------
+
+
+def validate_prom_text(text: str) -> int:
+    """Raise ``ValueError`` unless every line is legal exposition format;
+    returns the number of sample lines (the CI line-format check)."""
+    samples = 0
+    declared: Dict[str, str] = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in _TYPES:
+                raise ValueError("line %d: malformed TYPE comment" % i)
+            if parts[2] in declared:
+                raise ValueError(
+                    "line %d: duplicate TYPE for %s" % (i, parts[2])
+                )
+            declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError("line %d: not a valid sample line: %r" % (i, line))
+        samples += 1
+    if not samples:
+        raise ValueError("no samples in exposition text")
+    return samples
+
+
+def parse_prom_text(text: str) -> Dict[str, float]:
+    """``name{labels}`` -> value for every sample line (last one wins)."""
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            continue
+        raw = match.group("value")
+        value = float(raw.replace("Inf", "inf").replace("NaN", "nan"))
+        out[match.group("name") + (match.group("labels") or "")] = value
+    return out

@@ -12,8 +12,19 @@ locking — the watcher only ever reads.
 ``repro obs watch`` tails those files and renders a live table; a
 worker whose newest heartbeat is older than ``--stall-after`` seconds
 (and whose file does not end in a ``done`` record) is flagged as
-stalled.  ``--once`` prints a single snapshot and exits non-zero when
-anything is stalled, which is what the tests drive.
+stalled.  Sharded runs heartbeat per *shard* (``shard-<k>.jsonl``) and
+carry epoch progress (``epoch``/``epochs`` fields), so a shard that
+keeps heartbeating while completing zero epochs past the stall
+threshold is flagged too.  ``--once`` prints a single snapshot and
+exits non-zero when anything is stalled, which is what the tests drive.
+
+On top of the watcher sits the fleet aggregator
+(:func:`fleet_snapshot`, the ``repro obs top`` CLI): it folds worker
+heartbeats, shard heartbeats and the per-epoch barrier records of
+:mod:`repro.obs.epochs` into one health document with derived signals —
+straggler ratio (slowest/median shard phase time), handoff load
+imbalance across the stripes, and epochs/sec throughput — and a
+``healthy`` verdict scripts and CI can key off.
 
 Heartbeats are sampled on a wall-clock cadence by a daemon thread — the
 simulation itself is never touched, so golden digests are identical
@@ -90,10 +101,12 @@ class HeartbeatWriter:
         base_dir: Optional[Union[str, pathlib.Path]] = None,
         clock: Callable[[], float] = _time.time,
         file_stem: Optional[str] = None,
+        extra: Optional[Callable[[], dict]] = None,
     ):
         self.spec_id = spec_id
         self.duration_s = max(float(duration_s), 1e-9)
         self._progress = progress
+        self._extra = extra
         self.interval_s = float(interval_s)
         self._clock = clock
         # Default stem is per-process (executor workers); shard runtimes
@@ -126,6 +139,11 @@ class HeartbeatWriter:
             "hits": int(hits),
             "done": done,
         }
+        if self._extra is not None:
+            try:
+                record.update(self._extra())
+            except RuntimeError:
+                pass  # same torn-read tolerance as the progress callable
         self._seq += 1
         with open(self.path, "a") as fh:
             fh.write(json.dumps(record) + "\n")
@@ -138,6 +156,16 @@ class HeartbeatWriter:
 
     def __enter__(self) -> "HeartbeatWriter":
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Rotation on re-entry: a worker process (or inline shard stem)
+        # starting a new spec moves its previous file aside so the
+        # watcher's row — fractions, beat counts, done flags — only ever
+        # describes the *current* run.  ``.old`` does not match the
+        # watcher's ``*.jsonl`` globs.
+        if self.path.exists():
+            try:
+                self.path.replace(self.path.with_name(self.path.name + ".old"))
+            except OSError:
+                pass
         self._write()
         self._thread = threading.Thread(
             target=self._loop, name="repro-heartbeat", daemon=True
@@ -175,6 +203,7 @@ def maybe_heartbeat(
     duration_s: float,
     progress: Callable[[], tuple],
     file_stem: Optional[str] = None,
+    extra: Optional[Callable[[], dict]] = None,
 ) -> ContextManager:
     """A :class:`HeartbeatWriter` when ``REPRO_HEARTBEAT`` is set, else a
     no-op context — the single gate both executor routes use."""
@@ -184,7 +213,12 @@ def maybe_heartbeat(
     if label is None:
         label = current_spec_label() or "?"
     return HeartbeatWriter(
-        label, duration_s, progress, interval_s=interval, file_stem=file_stem
+        label,
+        duration_s,
+        progress,
+        interval_s=interval,
+        file_stem=file_stem,
+        extra=extra,
     )
 
 
@@ -216,8 +250,13 @@ def watch_snapshot(
     """One row per worker file: latest progress plus stall status.
 
     A worker is ``stalled`` when its newest record is not ``done`` and
-    is older than ``stall_after_s`` seconds of wall clock.  Pure
-    function of the files and ``now`` — tests pass a frozen ``now``.
+    is older than ``stall_after_s`` seconds of wall clock.  Shard rows
+    additionally carry epoch progress (``epoch``/``epochs``, written by
+    the shard runtimes) and are stalled when they have completed *zero*
+    epochs although their first heartbeat is older than the threshold —
+    a shard can heartbeat forever while wedged before its first
+    barrier.  Pure function of the files and ``now`` — tests pass a
+    frozen ``now``.
     """
     directory = pathlib.Path(directory)
     if now is None:
@@ -233,6 +272,12 @@ def watch_snapshot(
         last = records[-1]
         age = max(0.0, now - float(last.get("wall", now)))
         done = bool(last.get("done"))
+        stalled = (not done) and age > stall_after_s
+        epoch = last.get("epoch")
+        epochs = last.get("epochs")
+        if not done and epoch is not None and int(epoch) == 0:
+            first_age = max(0.0, now - float(records[0].get("wall", now)))
+            stalled = stalled or first_age > stall_after_s
         rows.append(
             {
                 "file": path.name,
@@ -241,22 +286,32 @@ def watch_snapshot(
                 "sim_time": last.get("sim_time"),
                 "fraction": last.get("fraction"),
                 "hits": last.get("hits"),
+                "epoch": epoch,
+                "epochs": epochs,
                 "beats": len(records),
                 "age_s": age,
                 "done": done,
-                "stalled": (not done) and age > stall_after_s,
+                "stalled": stalled,
             }
         )
     return rows
 
 
+def _epoch_cell(row: dict) -> str:
+    epoch = row.get("epoch")
+    if epoch is None:
+        return "-"
+    epochs = row.get("epochs")
+    return "%d/%d" % (epoch, epochs) if epochs else str(epoch)
+
+
 def render_watch(rows: List[dict], stall_after_s: float) -> str:
-    """The ``repro obs watch`` table."""
+    """The ``repro obs watch`` table (workers and shards, uniformly)."""
     if not rows:
         return "no heartbeat files yet"
     lines = [
-        f"{'worker':<22} {'spec':<34} {'progress':>8} {'hits':>6} "
-        f"{'beats':>6} {'age s':>7}  status"
+        f"{'worker':<22} {'spec':<34} {'progress':>8} {'epoch':>9} "
+        f"{'hits':>6} {'beats':>6} {'age s':>7}  status"
     ]
     for row in rows:
         fraction = row.get("fraction")
@@ -272,6 +327,7 @@ def render_watch(rows: List[dict], stall_after_s: float) -> str:
             status = "running"
         lines.append(
             f"{row['file']:<22} {spec:<34} {progress:>8} "
+            f"{_epoch_cell(row):>9} "
             f"{row.get('hits', 0):>6} {row['beats']:>6} {row['age_s']:>7.1f}  "
             f"{status}"
         )
@@ -288,9 +344,202 @@ def clear_heartbeats(
     directory = heartbeat_dir(base)
     if not directory.is_dir():
         return
-    for pattern in ("worker-*.jsonl", "shard-*.jsonl"):
+    patterns = (
+        "worker-*.jsonl",
+        "shard-*.jsonl",
+        "epochs-*.jsonl",
+        "*.jsonl.old",
+    )
+    for pattern in patterns:
         for path in directory.glob(pattern):
             try:
                 path.unlink()
             except OSError:
                 pass
+
+
+# -- the fleet aggregator ---------------------------------------------------
+
+
+def _shard_epoch_stats(records: List[dict], window: int) -> dict:
+    """Derived per-shard stats from one epochs-<k>.jsonl record list."""
+    done_epochs = {
+        int(r["epoch"]) for r in records if r.get("phase") == "b"
+    }
+    recent = records[-window:]
+    phase_walls = [float(r.get("wall_s", 0.0)) for r in recent]
+    barrier_walls = [float(r.get("barrier_s", 0.0)) for r in recent]
+    handoff_out = sum(
+        int(n) for r in records for n in r.get("out", {}).values()
+    )
+    out_bytes = sum(int(r.get("out_bytes", 0)) for r in records)
+    walls = [float(r.get("wall", 0.0)) for r in recent]
+    span = (max(walls) - min(walls)) if len(walls) > 1 else 0.0
+    return {
+        "epochs_done": (max(done_epochs) + 1) if done_epochs else 0,
+        "epochs_total": int(records[-1].get("epochs", 0)),
+        "last_epoch": int(records[-1]["epoch"]),
+        "last_phase": records[-1].get("phase"),
+        "phase_wall_mean_s": (
+            sum(phase_walls) / len(phase_walls) if phase_walls else 0.0
+        ),
+        "barrier_wall_mean_s": (
+            sum(barrier_walls) / len(barrier_walls) if barrier_walls else 0.0
+        ),
+        "handoff_out_records": handoff_out,
+        "handoff_out_bytes": out_bytes,
+        # Two phase records per epoch -> epochs/sec over the window.
+        "epochs_per_s": (len(recent) / 2.0) / span if span > 0 else None,
+        "last_wall": float(records[-1].get("wall", 0.0)),
+    }
+
+
+def fleet_snapshot(
+    directory: Union[str, pathlib.Path],
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+    now: Optional[float] = None,
+    window: int = 40,
+    straggler_threshold: float = 4.0,
+    imbalance_threshold: float = 4.0,
+) -> dict:
+    """One health document over everything the telemetry directory holds.
+
+    Folds the heartbeat rows (workers + shards) and the per-epoch
+    barrier records into derived signals:
+
+    * ``straggler_ratio`` — slowest / median mean phase wall time across
+      shards over the last ``window`` phase records;
+    * ``handoff_imbalance`` — max / mean handed-off record volume across
+      shards (stripe load skew);
+    * ``epochs_per_s`` — barrier throughput of the slowest shard over
+      its recent window.
+
+    ``healthy`` is false when anything is stalled or a ratio exceeds its
+    threshold; each violation is spelled out in ``problems``.  Pure
+    function of the files, ``now`` and the thresholds — the ``repro obs
+    top --once`` exit code is ``healthy``.
+    """
+    from repro.obs.epochs import load_epoch_dir
+
+    directory = pathlib.Path(directory)
+    if now is None:
+        now = _time.time()
+    rows = watch_snapshot(directory, stall_after_s=stall_after_s, now=now)
+    workers = [r for r in rows if r["file"].startswith("worker-")]
+    shards = [r for r in rows if r["file"].startswith("shard-")]
+    epoch_stats = {
+        shard_id: _shard_epoch_stats(records, window)
+        for shard_id, records in load_epoch_dir(directory).items()
+    }
+
+    problems: List[str] = []
+    for row in rows:
+        if row["stalled"]:
+            problems.append("%s stalled" % row["file"])
+
+    straggler_ratio = None
+    phase_means = sorted(
+        s["phase_wall_mean_s"]
+        for s in epoch_stats.values()
+        if s["phase_wall_mean_s"] > 0
+    )
+    if len(phase_means) >= 2:
+        mid = len(phase_means) // 2
+        if len(phase_means) % 2:
+            median = phase_means[mid]
+        else:
+            # True median: the upper-middle element would make the ratio
+            # identically 1.0 at two shards and mute the signal.
+            median = 0.5 * (phase_means[mid - 1] + phase_means[mid])
+        if median > 0:
+            straggler_ratio = phase_means[-1] / median
+            if straggler_ratio > straggler_threshold:
+                problems.append(
+                    "straggler ratio %.2f exceeds %.2f"
+                    % (straggler_ratio, straggler_threshold)
+                )
+
+    handoff_imbalance = None
+    volumes = [s["handoff_out_records"] for s in epoch_stats.values()]
+    if len(volumes) >= 2 and sum(volumes) > 0:
+        mean = sum(volumes) / len(volumes)
+        if mean > 0:
+            handoff_imbalance = max(volumes) / mean
+            if handoff_imbalance > imbalance_threshold:
+                problems.append(
+                    "handoff imbalance %.2f exceeds %.2f"
+                    % (handoff_imbalance, imbalance_threshold)
+                )
+
+    rates = [
+        s["epochs_per_s"]
+        for s in epoch_stats.values()
+        if s["epochs_per_s"] is not None
+    ]
+    return {
+        "now": now,
+        "stall_after_s": stall_after_s,
+        "workers": workers,
+        "shards": shards,
+        "epochs": {str(k): v for k, v in sorted(epoch_stats.items())},
+        "health": {
+            "straggler_ratio": straggler_ratio,
+            "straggler_threshold": straggler_threshold,
+            "handoff_imbalance": handoff_imbalance,
+            "imbalance_threshold": imbalance_threshold,
+            "epochs_per_s": min(rates) if rates else None,
+            "stalled": sum(1 for r in rows if r["stalled"]),
+            "problems": problems,
+            "healthy": not problems,
+        },
+    }
+
+
+def _ratio_cell(value: Optional[float]) -> str:
+    return "%.2f" % value if value is not None else "-"
+
+
+def render_top(doc: dict) -> str:
+    """The ``repro obs top`` dashboard: fleet table, per-shard epoch
+    stats, and the derived health line."""
+    health = doc["health"]
+    rows = doc["workers"] + doc["shards"]
+    lines = [
+        "fleet: %d worker(s), %d shard(s)   epochs/s %s   "
+        "straggler %s   imbalance %s"
+        % (
+            len(doc["workers"]),
+            len(doc["shards"]),
+            _ratio_cell(health["epochs_per_s"]),
+            _ratio_cell(health["straggler_ratio"]),
+            _ratio_cell(health["handoff_imbalance"]),
+        ),
+        "",
+        render_watch(rows, doc["stall_after_s"]),
+    ]
+    if doc["epochs"]:
+        lines.append("")
+        lines.append(
+            f"{'shard':>6} {'epoch':>9} {'phase ms':>9} {'barrier ms':>11} "
+            f"{'handoff recs':>13} {'bytes':>10} {'ep/s':>6}"
+        )
+        for shard_id, stats in doc["epochs"].items():
+            epoch_cell = "%d/%d" % (stats["epochs_done"], stats["epochs_total"])
+            rate = stats["epochs_per_s"]
+            rate_cell = "%.2f" % rate if rate is not None else "-"
+            lines.append(
+                f"{shard_id:>6} {epoch_cell:>9} "
+                f"{1e3 * stats['phase_wall_mean_s']:>9.2f} "
+                f"{1e3 * stats['barrier_wall_mean_s']:>11.2f} "
+                f"{stats['handoff_out_records']:>13} "
+                f"{stats['handoff_out_bytes']:>10} "
+                f"{rate_cell:>6}"
+            )
+    lines.append("")
+    if health["healthy"]:
+        lines.append("health: OK")
+    else:
+        lines.append("health: DEGRADED")
+        for problem in health["problems"]:
+            lines.append("  - " + problem)
+    return "\n".join(lines)

@@ -23,8 +23,11 @@ either execution mode:
 
 ``REPRO_SHARDS`` / ``REPRO_SHARD_MODE`` select count and mode the same
 way ``REPRO_WORKERS`` selects executor width.  When ``REPRO_HEARTBEAT``
-is set each shard appends live progress to
-``telemetry/shard-<k>.jsonl`` for ``repro obs watch``.
+is set each shard appends live progress (including epoch counts) to
+``telemetry/shard-<k>.jsonl`` for ``repro obs watch``; when
+``REPRO_EPOCH_TRACE`` is set each shard additionally records per-epoch
+barrier spans to ``telemetry/epochs-<k>.jsonl`` for ``repro obs top``
+and ``repro obs shard-trace`` (see :mod:`repro.obs.epochs`).
 """
 
 from __future__ import annotations
@@ -242,11 +245,17 @@ def _shard_worker(
     backend: Optional[str],
     collect_states: bool,
     log_handoffs: bool,
+    epoch_trace: Optional[bool] = None,
 ) -> None:
     """Process-mode loop: one ShardRuntime driven by pipe commands."""
     try:
         runtime = ShardRuntime(
-            scenario, shard_id, shards, backend=backend, log_handoffs=log_handoffs
+            scenario,
+            shard_id,
+            shards,
+            backend=backend,
+            log_handoffs=log_handoffs,
+            epoch_trace=epoch_trace,
         )
         duration = runtime.barriers[-1]
         with maybe_heartbeat(
@@ -254,6 +263,10 @@ def _shard_worker(
             duration,
             lambda: (runtime.sim.now, runtime.hits),
             file_stem="shard-%d" % shard_id,
+            extra=lambda: {
+                "epoch": runtime.epochs_done,
+                "epochs": runtime.epochs,
+            },
         ):
             while True:
                 msg = conn.recv()
@@ -289,6 +302,7 @@ class ShardedCitySim:
         backend: Optional[str] = None,
         collect_states: bool = True,
         log_handoffs: bool = False,
+        epoch_trace: Optional[bool] = None,
     ):
         self.scenario = scenario
         self.shards = resolve_shards(shards)
@@ -296,6 +310,7 @@ class ShardedCitySim:
         self.backend = resolve_backend(backend)
         self.collect_states = collect_states
         self.log_handoffs = log_handoffs
+        self.epoch_trace = epoch_trace
         self.epochs = len(epoch_schedule(scenario.duration, scenario.epoch_s)) - 1
 
     def run(self) -> ShardRunResult:
@@ -314,6 +329,7 @@ class ShardedCitySim:
                 shards,
                 backend=self.backend,
                 log_handoffs=self.log_handoffs,
+                epoch_trace=self.epoch_trace,
             )
             for k in range(shards)
         ]
@@ -329,6 +345,10 @@ class ShardedCitySim:
                         duration,
                         lambda rt=runtime: (rt.sim.now, rt.hits),
                         file_stem="shard-%d" % k,
+                        extra=lambda rt=runtime: {
+                            "epoch": rt.epochs_done,
+                            "epochs": rt.epochs,
+                        },
                     )
                 )
             for epoch in range(self.epochs):
@@ -395,6 +415,7 @@ class ShardedCitySim:
                     self.backend,
                     self.collect_states,
                     self.log_handoffs,
+                    self.epoch_trace,
                 ),
                 daemon=True,
             )
@@ -473,6 +494,7 @@ def run_sharded(
     backend: Optional[str] = None,
     collect_states: bool = True,
     log_handoffs: bool = False,
+    epoch_trace: Optional[bool] = None,
 ) -> ShardRunResult:
     """One-call front door: resolve knobs, run, return the result."""
     return ShardedCitySim(
@@ -482,4 +504,5 @@ def run_sharded(
         backend=backend,
         collect_states=collect_states,
         log_handoffs=log_handoffs,
+        epoch_trace=epoch_trace,
     ).run()

@@ -34,9 +34,11 @@ live under ``shardops.*``, which golden canonicalisation strips.
 from __future__ import annotations
 
 import math
+import time as _time
 from typing import Dict, List, Optional, Tuple
 
 from repro.dot11.medium import reach_with_motion
+from repro.obs.epochs import maybe_epoch_tracer
 from repro.obs.registry import MetricsRegistry
 from repro.sim.clock import epoch_schedule
 from repro.sim.shards import handoff
@@ -92,6 +94,7 @@ class ShardRuntime:
         shards: int,
         backend: Optional[str] = None,
         log_handoffs: bool = False,
+        epoch_trace: Optional[bool] = None,
     ):
         if not 0 <= shard_id < shards:
             raise ValueError("shard_id %r out of range for %d shards" % (shard_id, shards))
@@ -142,7 +145,14 @@ class ShardRuntime:
         self._adj_r2 = margin * margin
         self.owned: List[int] = self._initial_owned()
         self.hits = 0
+        self.epochs_done = 0
         self._log: Optional[List[tuple]] = [] if log_handoffs else None
+        # Per-epoch barrier tracing (REPRO_EPOCH_TRACE): observe-only,
+        # so digests are bit-identical with it on or off.
+        self.tracer = maybe_epoch_tracer(
+            shard_id, shards, self.epochs, enabled=epoch_trace
+        )
+        self._phase_end_pc: Optional[float] = None
         self.metrics.gauge_set("shardops.owned_initial", len(self.owned), shard=shard_id)
         self.metrics.gauge_set(
             "shardops.sensors_owned", len(self.hunters), shard=shard_id
@@ -197,10 +207,26 @@ class ShardRuntime:
     ) -> Outbox:
         """Drive phase A of ``epoch`` through the scheduler; returns the
         outboxes (dest shard -> records) for the X1 exchange."""
+        pc0 = _time.perf_counter()
         t_e = self.barriers[epoch]
         out: Outbox = {}
         self.sim.at_time(t_e, self._phase_a, epoch, migrations_in, offers_in, out, last)
         self.sim.run(t_e)
+        if self.tracer is not None:
+            pc1 = _time.perf_counter()
+            self.tracer.record(
+                epoch,
+                "a",
+                wall_s=pc1 - pc0,
+                barrier_s=(
+                    pc0 - self._phase_end_pc
+                    if self._phase_end_pc is not None
+                    else 0.0
+                ),
+                records_in={"m": len(migrations_in), "o": len(offers_in)},
+                outboxes=out,
+            )
+            self._phase_end_pc = pc1
         return out
 
     def _phase_a(
@@ -386,10 +412,27 @@ class ShardRuntime:
         self, epoch: int, feedbacks_in: List[tuple], probes_in: List[tuple]
     ) -> Outbox:
         """Drive phase B of ``epoch``; returns offer outboxes for X2."""
+        pc0 = _time.perf_counter()
         t_next = self.barriers[epoch + 1]
         out: Outbox = {}
         self.sim.at_time(t_next, self._phase_b, epoch, feedbacks_in, probes_in, out)
         self.sim.run(t_next)
+        if self.tracer is not None:
+            pc1 = _time.perf_counter()
+            self.tracer.record(
+                epoch,
+                "b",
+                wall_s=pc1 - pc0,
+                barrier_s=(
+                    pc0 - self._phase_end_pc
+                    if self._phase_end_pc is not None
+                    else 0.0
+                ),
+                records_in={"f": len(feedbacks_in), "p": len(probes_in)},
+                outboxes=out,
+            )
+            self._phase_end_pc = pc1
+        self.epochs_done = epoch + 1
         return out
 
     def _phase_b(

@@ -28,6 +28,8 @@ DIGEST_PATH = DATA_DIR / "golden_shards.digest"
 _SCOPED_ENV = (
     "REPRO_ARTIFACT_DIR",
     "REPRO_WORKERS",
+    "REPRO_EPOCH_TRACE",
+    "REPRO_HEARTBEAT",
     SHARDS_ENV,
     SHARD_MODE_ENV,
     BACKEND_ENV,
@@ -121,3 +123,27 @@ class TestShardCountInvariance:
         assert doc["workers"] == 4
         _assert_same(serial_doc, doc, "workers=1 vs workers=4 (shards=2)")
         assert metrics_digest(doc) == fixture_digest()
+
+    def test_epoch_trace_on_invariance(self, serial_doc):
+        """The shard ops plane is observation-only: with per-epoch
+        barrier tracing and heartbeats both on, every metric of the
+        sharded golden batch must stay bit-identical — no extra RNG
+        draws, no extra scheduled events, no metric writes (mirror of
+        test_golden_master's test_lineage_on_invariance)."""
+        os.environ["REPRO_EPOCH_TRACE"] = "1"
+        os.environ["REPRO_HEARTBEAT"] = "0.2"
+        try:
+            traced_doc = run_golden_shards(workers=1, shards=2)
+        finally:
+            os.environ.pop("REPRO_EPOCH_TRACE", None)
+            os.environ.pop("REPRO_HEARTBEAT", None)
+        _assert_same(
+            serial_doc, traced_doc,
+            "epoch trace off vs REPRO_EPOCH_TRACE=1 (shards=2)",
+        )
+        assert metrics_digest(traced_doc) == fixture_digest()
+        telemetry = (
+            pathlib.Path(os.environ["REPRO_ARTIFACT_DIR"]) / "telemetry"
+        )
+        spans = sorted(telemetry.glob("epochs-*.jsonl"))
+        assert len(spans) == 2, spans

@@ -8,6 +8,8 @@ must be flagged by ``repro obs watch --once`` with a non-zero exit.
 import json
 import time
 
+import pytest
+
 from repro.cli import main
 from repro.obs.telemetry import (
     DEFAULT_INTERVAL_S,
@@ -39,6 +41,13 @@ class TestInterval:
         assert resolve_heartbeat_interval("soon") is None
         assert resolve_heartbeat_interval("0") is None
         assert resolve_heartbeat_interval("-3") is None
+
+    def test_nan_and_whitespace_off(self):
+        # float("nan") parses but is not > 0 — must not arm a writer
+        # with a NaN sleep interval.
+        assert resolve_heartbeat_interval("nan") is None
+        assert resolve_heartbeat_interval("   ") is None
+        assert resolve_heartbeat_interval("-0.0") is None
 
 
 class TestHeartbeatWriter:
@@ -113,6 +122,45 @@ class TestHeartbeatWriter:
         finally:
             set_current_spec(None)
         assert ctx.spec_id == "cityhunter/canteen:5"
+
+    def test_rotation_on_reentry(self, tmp_path):
+        """A worker starting its next spec moves the previous file to
+        ``.old`` so the watcher row only describes the current run."""
+        kwargs = dict(interval_s=60.0, base_dir=tmp_path, file_stem="worker-1")
+        with HeartbeatWriter("spec-1", 10.0, lambda: (5.0, 1), **kwargs) as hb:
+            pass
+        with HeartbeatWriter("spec-2", 10.0, lambda: (0.0, 0), **kwargs) as hb:
+            pass
+        records = read_heartbeats(hb.path)
+        assert {r["spec"] for r in records} == {"spec-2"}
+        old = hb.path.with_name(hb.path.name + ".old")
+        assert {r["spec"] for r in read_heartbeats(old)} == {"spec-1"}
+        # rows come only from the live file
+        rows = watch_snapshot(tmp_path / "telemetry", now=time.time())
+        assert len(rows) == 1 and rows[0]["spec"] == "spec-2"
+        clear_heartbeats(tmp_path)
+        assert not old.exists()
+
+    def test_extra_fields_merged_into_records(self, tmp_path):
+        with HeartbeatWriter(
+            "spec-e", 10.0, lambda: (1.0, 0), interval_s=60.0,
+            base_dir=tmp_path, extra=lambda: {"epoch": 3, "epochs": 12},
+        ) as hb:
+            pass
+        records = read_heartbeats(hb.path)
+        assert all(r["epoch"] == 3 and r["epochs"] == 12 for r in records)
+
+    def test_extra_torn_read_skipped(self, tmp_path):
+        def extra():
+            raise RuntimeError("dictionary changed size during iteration")
+
+        with HeartbeatWriter(
+            "spec-f", 10.0, lambda: (1.0, 0), interval_s=60.0,
+            base_dir=tmp_path, extra=extra,
+        ) as hb:
+            pass
+        records = read_heartbeats(hb.path)
+        assert records and all("epoch" not in r for r in records)
 
 
 def _write_worker(directory, pid, wall, done=False, spec="spec-x",
@@ -201,3 +249,173 @@ class TestWatchCli:
         assert rc == 0
         assert "running" in out
         assert "done" in out
+
+
+def _write_shard(directory, shard, walls, epoch=0, epochs=12, done=False):
+    """A shard heartbeat file with one record per wall timestamp."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"shard-{shard}.jsonl"
+    with open(path, "w") as fh:
+        for seq, wall in enumerate(walls):
+            fh.write(json.dumps({
+                "wall": wall, "pid": 99, "spec": f"shards:{shard}",
+                "seq": seq, "sim_time": 10.0 * seq, "fraction": 0.1 * seq,
+                "hits": 0, "done": done and seq == len(walls) - 1,
+                "epoch": epoch, "epochs": epochs,
+            }) + "\n")
+    return path
+
+
+def _write_epochs(directory, shard, epochs, phase_s, t0=1000.0,
+                  out_records=4):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"epochs-{shard}.jsonl"
+    t = t0
+    with open(path, "w") as fh:
+        for epoch in range(epochs):
+            for phase in ("a", "b"):
+                t += phase_s
+                fh.write(json.dumps({
+                    "wall": t, "shard": shard, "shards": 2, "epoch": epoch,
+                    "epochs": epochs, "phase": phase, "wall_s": phase_s,
+                    "barrier_s": 0.01,
+                    "in": {}, "out": {str(1 - shard): out_records},
+                    "out_bytes": out_records * 16,
+                }) + "\n")
+    return path
+
+
+class TestZeroEpochStall:
+    def test_heartbeating_but_wedged_shard_flagged(self, tmp_path):
+        """A shard whose heartbeats keep coming but that never finished
+        epoch 0 past the stall threshold counts as stalled."""
+        now = 1000.0
+        _write_shard(tmp_path, 0, [now - 300.0, now - 150.0, now - 1.0],
+                     epoch=0)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["stalled"] is True
+
+    def test_young_zero_epoch_shard_not_flagged(self, tmp_path):
+        now = 1000.0
+        _write_shard(tmp_path, 0, [now - 10.0, now - 1.0], epoch=0)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["stalled"] is False
+
+    def test_progressing_shard_not_flagged(self, tmp_path):
+        now = 1000.0
+        _write_shard(tmp_path, 0, [now - 300.0, now - 1.0], epoch=5)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["stalled"] is False
+        assert "5/12" in render_watch(rows, 60.0)
+
+
+class TestFleetSnapshot:
+    def test_healthy_fleet(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot, render_top
+
+        now = 1012.5
+        _write_worker(tmp_path, 71, now - 2.0)
+        _write_shard(tmp_path, 0, [now - 2.0], epoch=6)
+        _write_shard(tmp_path, 1, [now - 2.0], epoch=6)
+        _write_epochs(tmp_path, 0, epochs=6, phase_s=0.5)
+        _write_epochs(tmp_path, 1, epochs=6, phase_s=0.6)
+        doc = fleet_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        health = doc["health"]
+        assert health["healthy"] is True
+        assert health["problems"] == []
+        assert health["straggler_ratio"] == pytest.approx(0.6 / 0.55)
+        assert health["handoff_imbalance"] == pytest.approx(1.0)
+        assert health["epochs_per_s"] > 0
+        assert doc["epochs"]["0"]["epochs_done"] == 6
+        # 6 epochs x 2 phases x 4 records per batch
+        assert doc["epochs"]["0"]["handoff_out_records"] == 48
+        out = render_top(doc)
+        assert "health: OK" in out
+        assert "1 worker(s), 2 shard(s)" in out
+
+    def test_straggler_flagged(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot, render_top
+
+        now = 2000.0
+        _write_shard(tmp_path, 0, [now - 1.0], epoch=4)
+        _write_shard(tmp_path, 1, [now - 1.0], epoch=4)
+        _write_epochs(tmp_path, 0, epochs=4, phase_s=0.1)
+        _write_epochs(tmp_path, 1, epochs=4, phase_s=1.0)  # 10x slower
+        # at two shards max/median tops out just under 2 (median is the
+        # midpoint), so gate tighter than the 4x default
+        doc = fleet_snapshot(
+            tmp_path, stall_after_s=3600.0, now=now, straggler_threshold=1.5
+        )
+        assert doc["health"]["healthy"] is False
+        assert any("straggler" in p for p in doc["health"]["problems"])
+        assert "health: DEGRADED" in render_top(doc)
+
+    def test_handoff_imbalance_flagged(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot
+
+        now = 2000.0
+        _write_epochs(tmp_path, 0, epochs=4, phase_s=0.5, out_records=0)
+        _write_epochs(tmp_path, 1, epochs=4, phase_s=0.5, out_records=100)
+        doc = fleet_snapshot(
+            tmp_path, stall_after_s=3600.0, now=now, imbalance_threshold=1.5
+        )
+        assert any("imbalance" in p for p in doc["health"]["problems"])
+
+    def test_truncated_epoch_lines_tolerated(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot
+
+        path = _write_epochs(tmp_path, 0, epochs=3, phase_s=0.5)
+        with open(path, "a") as fh:
+            fh.write('{"wall": 1, "shard": 0, "epoch": 3, "pha')
+        (tmp_path / "epochs-1.jsonl").write_text("not json at all\n")
+        doc = fleet_snapshot(tmp_path, stall_after_s=3600.0, now=2000.0)
+        # the torn line and the garbage file both vanish, stats survive
+        assert list(doc["epochs"]) == ["0"]
+        assert doc["epochs"]["0"]["epochs_done"] == 3
+
+    def test_empty_dir_is_healthy(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot, render_top
+
+        doc = fleet_snapshot(tmp_path, now=0.0)
+        assert doc["health"]["healthy"] is True
+        assert "no heartbeat files yet" in render_top(doc)
+
+
+class TestTopCli:
+    def test_once_healthy_exits_zero(self, tmp_path, capsys):
+        now = time.time()
+        _write_shard(tmp_path, 0, [now - 1.0], epoch=3)
+        _write_shard(tmp_path, 1, [now - 1.0], epoch=3)
+        _write_epochs(tmp_path, 0, epochs=3, phase_s=0.5, t0=now - 10.0)
+        _write_epochs(tmp_path, 1, epochs=3, phase_s=0.5, t0=now - 10.0)
+        rc = main(["obs", "top", "--once", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "health: OK" in out
+
+    def test_once_degraded_exits_nonzero(self, tmp_path, capsys):
+        """Acceptance: the synthetic straggler/stall fixture makes
+        ``obs top --once`` exit non-zero."""
+        now = time.time()
+        _write_shard(tmp_path, 0, [now - 3600.0, now - 1.0], epoch=0)
+        _write_shard(tmp_path, 1, [now - 1.0], epoch=5)
+        _write_epochs(tmp_path, 0, epochs=1, phase_s=5.0, t0=now - 3600.0)
+        _write_epochs(tmp_path, 1, epochs=5, phase_s=0.1, t0=now - 10.0)
+        rc = main([
+            "obs", "top", "--once", "--dir", str(tmp_path),
+            "--stall-after", "60",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "health: DEGRADED" in out
+        assert "stalled" in out
+
+    def test_once_json_parses(self, tmp_path, capsys):
+        now = time.time()
+        _write_shard(tmp_path, 0, [now - 1.0], epoch=2)
+        _write_epochs(tmp_path, 0, epochs=2, phase_s=0.5, t0=now - 5.0)
+        rc = main(["obs", "top", "--once", "--json", "--dir", str(tmp_path)])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["health"]["healthy"] is True
+        assert doc["epochs"]["0"]["epochs_done"] == 2
