@@ -16,6 +16,13 @@ table.  ``--assert-speedup X`` exits non-zero unless the 4-shard point
 at ``--assert-at`` stations reaches an ``X``-fold speedup over 1 shard
 — the contract CI's shard-smoke job enforces (2x at 2000 stations).
 
+``--chaos`` appends a fault-tolerance section: the 2000-station point
+re-run in process mode three ways (clean, with epoch-barrier
+checkpoints, and with checkpoints plus an injected mid-run shard
+crash).  Each variant's digest must equal the inline grid baseline, so
+the checkpoint/recovery overhead lands in the artefact alongside a
+hard determinism check.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_shards.py [--assert-speedup 2.0]
@@ -45,6 +52,14 @@ SIZE_M = 2400.0
 EPOCH_S = 2.0
 DURATION_S = 240.0
 SEED = 11
+
+# --chaos variants: checkpoint cadence and the epoch the injected crash
+# fires at.  The crash epoch sits past several barriers so recovery
+# replays real workload (120 epochs total at 2 s each).
+CHAOS_STATIONS = 2000
+CHAOS_SHARDS = 4
+CHAOS_CKPT_EVERY = 20
+CHAOS_CRASH_EPOCH = 60
 
 
 def _scenario(stations):
@@ -80,6 +95,73 @@ def _run_point(stations, shards, epoch_trace=False):
         ),
         "hits": result.summary["hits"],
         "digest": result.digest(),
+    }
+
+
+def _chaos_variant(name, baseline_digest, faults=None, ckpt_every=0):
+    scenario = _scenario(CHAOS_STATIONS)
+    start = time.perf_counter()
+    result = run_sharded(
+        scenario,
+        shards=CHAOS_SHARDS,
+        mode="process",
+        collect_states=False,
+        faults=faults,
+        ckpt_every=ckpt_every,
+    )
+    wall = time.perf_counter() - start
+    counters = result.metrics.get("counters", {})
+    return {
+        "variant": name,
+        "wall_s": round(wall, 4),
+        "digest_ok": result.digest() == baseline_digest,
+        "ckpt_writes": int(counters.get("shardops.ckpt.writes", 0)),
+        "ckpt_bytes": int(counters.get("shardops.ckpt.bytes", 0)),
+        "crashes": int(counters.get("shardops.recovery.crashes", 0)),
+        "respawns": int(counters.get("shardops.recovery.respawns", 0)),
+        "rollback_epochs": int(
+            counters.get("shardops.recovery.rollback_epochs", 0)
+        ),
+    }
+
+
+def run_chaos(baseline_digest):
+    """The three process-mode variants the --chaos section compares."""
+    from repro.faults.plan import FaultPlan
+    from repro.faults.shards import ShardFaultParams
+
+    plan = FaultPlan(
+        seed=SEED,
+        shard_faults=ShardFaultParams(crash_epoch=CHAOS_CRASH_EPOCH),
+    )
+    variants = [
+        _chaos_variant("process-clean", baseline_digest),
+        _chaos_variant(
+            "process-ckpt", baseline_digest, ckpt_every=CHAOS_CKPT_EVERY
+        ),
+        _chaos_variant(
+            "process-crash-recover",
+            baseline_digest,
+            faults=plan,
+            ckpt_every=CHAOS_CKPT_EVERY,
+        ),
+    ]
+    clean_wall = variants[0]["wall_s"]
+    for v in variants:
+        v["overhead"] = round(
+            v["wall_s"] / clean_wall - 1.0 if clean_wall > 0 else 0.0, 4
+        )
+        if not v["digest_ok"]:
+            raise AssertionError(
+                "chaos variant %r drifted from the inline baseline digest"
+                % v["variant"]
+            )
+    return {
+        "stations": CHAOS_STATIONS,
+        "shards": CHAOS_SHARDS,
+        "ckpt_every": CHAOS_CKPT_EVERY,
+        "crash_epoch": CHAOS_CRASH_EPOCH,
+        "variants": variants,
     }
 
 
@@ -127,6 +209,26 @@ def render(grid):
     return "\n".join(lines)
 
 
+def render_chaos(chaos):
+    lines = [
+        "",
+        f"Chaos: {chaos['stations']} stations / {chaos['shards']} shards, "
+        f"process mode, ckpt every {chaos['ckpt_every']} epochs, crash at "
+        f"epoch {chaos['crash_epoch']}",
+        "",
+        f"{'variant':>22} {'wall s':>8} {'overhead':>9} {'ckpts':>6} "
+        f"{'crash':>6} {'rollbk':>6} {'digest':>7}",
+    ]
+    for v in chaos["variants"]:
+        lines.append(
+            f"{v['variant']:>22} {v['wall_s']:>8.3f} "
+            f"{v['overhead'] * 100:>8.1f}% {v['ckpt_writes']:>6} "
+            f"{v['crashes']:>6} {v['rollback_epochs']:>6} "
+            f"{'OK' if v['digest_ok'] else 'DRIFT':>7}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -150,6 +252,12 @@ def main(argv=None):
         help="record per-epoch barrier spans for the max-shard points and "
         "export epoch_trace.json (Chrome trace-event JSON)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="append the process-mode checkpoint/recovery overhead section "
+        "(clean vs checkpointed vs crash-and-recover)",
+    )
     args = parser.parse_args(argv)
 
     grid = run_grid(epoch_trace=args.epoch_trace)
@@ -165,9 +273,16 @@ def main(argv=None):
         "grid": grid,
         "max_speedup": max(p["speedup"] for p in grid),
     }
+    table = render(grid)
+    if args.chaos:
+        baseline = next(
+            p["digest"] for p in grid if p["stations"] == CHAOS_STATIONS
+        )
+        doc["chaos"] = run_chaos(baseline)
+        table += "\n" + render_chaos(doc["chaos"])
     artifact = out_dir() / ARTIFACT
     artifact.write_text(json.dumps(doc, indent=2) + "\n")
-    emit("bench_shards", render(grid))
+    emit("bench_shards", table)
     print(f"\nwrote {artifact}")
 
     if args.epoch_trace:

@@ -530,7 +530,10 @@ def _cmd_shards_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         backend=args.backend,
         collect_states=False,
+        faults=_load_fault_plan(args.fault_plan),
+        ckpt_every=args.ckpt_every,
     )
+    counters = result.metrics.get("counters", {})
     doc = {
         "shards": result.shards,
         "mode": result.mode,
@@ -540,6 +543,14 @@ def _cmd_shards_run(args: argparse.Namespace) -> int:
         "summary": result.summary,
         "wall_phase_s": round(result.wall_phase_s, 4),
         "wall_handoff_s": round(result.wall_handoff_s, 4),
+        "recovery": {
+            "crashes": int(counters.get("shardops.recovery.crashes", 0)),
+            "respawns": int(counters.get("shardops.recovery.respawns", 0)),
+            "rollback_epochs": int(
+                counters.get("shardops.recovery.rollback_epochs", 0)
+            ),
+            "ckpt_barriers": int(counters.get("shardops.ckpt.barriers", 0)),
+        },
     }
     if args.json:
         with open(args.json, "w") as fh:
@@ -568,6 +579,17 @@ def _cmd_shards_run(args: argparse.Namespace) -> int:
             result.summary["feedbacks"],
         )
     )
+    if doc["recovery"]["crashes"] or doc["recovery"]["ckpt_barriers"]:
+        print(
+            "  recovery: %d crash(es), %d respawn(s), %d epoch(s) rolled "
+            "back, %d checkpoint barrier(s)"
+            % (
+                doc["recovery"]["crashes"],
+                doc["recovery"]["respawns"],
+                doc["recovery"]["rollback_epochs"],
+                doc["recovery"]["ckpt_barriers"],
+            )
+        )
     print("  digest %s" % result.digest())
     return 0
 
@@ -576,9 +598,14 @@ def _cmd_shards_golden(args: argparse.Namespace) -> int:
     from repro.experiments.golden import run_golden_shards
     from repro.obs.golden import diff_metrics_docs, metrics_digest
 
-    doc = run_golden_shards(workers=args.workers, shards=args.shards)
+    doc = run_golden_shards(
+        workers=args.workers, shards=args.shards, chaos=args.chaos
+    )
     digest = metrics_digest(doc)
-    print("golden shards digest (shards=%s): %s" % (args.shards or "env", digest))
+    print(
+        "golden shards digest (shards=%s%s): %s"
+        % (args.shards or "env", ", chaos" if args.chaos else "", digest)
+    )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -863,6 +890,12 @@ def build_parser() -> argparse.ArgumentParser:
     shards_run.add_argument("--backend", choices=("numpy", "python", "auto"),
                             help="batch backend (default: "
                                  "REPRO_SHARDS_BACKEND, else numpy)")
+    shards_run.add_argument("--fault-plan", metavar="PATH",
+                            help="JSON fault plan; its shard_faults block "
+                                 "injects crash/stall/corrupt faults")
+    shards_run.add_argument("--ckpt-every", type=int, metavar="N",
+                            help="checkpoint every N epochs (default: "
+                                 "REPRO_SHARD_CKPT_EVERY, else off)")
     shards_run.add_argument("--json", help="write the run document here")
     shards_run.set_defaults(func=_cmd_shards_run)
 
@@ -878,6 +911,10 @@ def build_parser() -> argparse.ArgumentParser:
     shards_golden.add_argument("--check", metavar="FIXTURE",
                                help="digest fixture to compare against "
                                     "(tests/data/golden_shards.digest)")
+    shards_golden.add_argument("--chaos", action="store_true",
+                               help="inject the golden shard-crash fault "
+                                    "(process mode + checkpoints); the "
+                                    "digest must still match the fixture")
     shards_golden.add_argument("--json", help="write the metrics doc here")
     shards_golden.set_defaults(func=_cmd_shards_golden)
     return parser

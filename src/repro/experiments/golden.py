@@ -25,6 +25,7 @@ adaptation, Gilbert–Elliott channel faults.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import List, Optional
 
@@ -36,11 +37,32 @@ from repro.experiments.parallel import (
     run_specs,
 )
 from repro.faults.plan import FaultPlan, GilbertElliottParams
-from repro.sim.shards.engine import SHARDS_ENV, resolve_shards
+from repro.faults.shards import ShardFaultParams
+from repro.sim.shards.checkpoint import CKPT_EVERY_ENV
+from repro.sim.shards.engine import (
+    SHARD_MODE_ENV,
+    SHARDS_ENV,
+    resolve_shards,
+)
 from repro.sim.shards.scenario import ShardScenario
 
 GOLDEN_DURATION_S = 300.0
 GOLDEN_SHARD_DURATION_S = 240.0
+
+#: The chaos variant of the shard batch: crash the seed-hashed target
+#: shard at this epoch, checkpoint every this many epochs.  Both sit
+#: well inside the 240 s / 2 s = 120-epoch golden runs, so the recovery
+#: replays real workload and the digest must still match the fixture.
+GOLDEN_CHAOS_CRASH_EPOCH = 20
+GOLDEN_CHAOS_CKPT_EVERY = 8
+
+
+def golden_chaos_plan() -> FaultPlan:
+    """The deterministic shard-crash plan the chaos CI job injects."""
+    return FaultPlan(
+        seed=13,
+        shard_faults=ShardFaultParams(crash_epoch=GOLDEN_CHAOS_CRASH_EPOCH),
+    )
 
 
 def golden_specs() -> List[RunSpec]:
@@ -134,7 +156,9 @@ def golden_shard_specs() -> List[RunSpec]:
 
 
 def run_golden_shards(
-    workers: Optional[int] = None, shards: Optional[int] = None
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    chaos: bool = False,
 ) -> dict:
     """Run the sharded golden batch at ``shards`` and return its metrics
     artefact document.
@@ -142,20 +166,35 @@ def run_golden_shards(
     ``shards`` is applied by (temporarily) setting ``REPRO_SHARDS`` —
     the same path a user takes — so the artefact exercises exactly the
     env plumbing the CI shard-smoke job drives.
+
+    ``chaos=True`` is the fault-tolerance gate: every spec gets
+    :func:`golden_chaos_plan` (one shard crashes mid-run), the batch is
+    forced into process mode with ``REPRO_SHARD_CKPT_EVERY`` set, and
+    the digest must *still* equal the committed fixture — recovery is
+    only correct when it is invisible in ``shardsim.*`` space.
     """
     shards = resolve_shards(shards)
-    previous = os.environ.get(SHARDS_ENV)
-    os.environ[SHARDS_ENV] = str(shards)
+    scoped = {SHARDS_ENV: str(shards)}
+    if chaos:
+        scoped[SHARD_MODE_ENV] = "process"
+        scoped[CKPT_EVERY_ENV] = str(GOLDEN_CHAOS_CKPT_EVERY)
+    specs = golden_shard_specs()
+    if chaos:
+        plan = golden_chaos_plan()
+        specs = [dataclasses.replace(spec, faults=plan) for spec in specs]
+    previous = {key: os.environ.get(key) for key in scoped}
+    os.environ.update(scoped)
     try:
         results: List[RunResult] = run_specs(
-            golden_shard_specs(),
+            specs,
             workers=workers,
             timings_name="golden_shards_timings",
             metrics_name="golden_shards_metrics",
         )
     finally:
-        if previous is None:
-            os.environ.pop(SHARDS_ENV, None)
-        else:
-            os.environ[SHARDS_ENV] = previous
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     return metrics_doc(results, workers=resolve_workers(workers))

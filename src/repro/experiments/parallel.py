@@ -530,7 +530,7 @@ def _execute_shard_spec(spec: RunSpec) -> RunSummary:
         spec.tag or "%s/%s:%d" % (spec.attacker, _spec_venue(spec), spec.seed)
     )
     start = time.perf_counter()
-    result = run_sharded(scenario, collect_states=False)
+    result = run_sharded(scenario, collect_states=False, faults=spec.faults)
     wall = time.perf_counter() - start
     set_current_spec(None)
     registry = MetricsRegistry.from_dict(result.metrics)

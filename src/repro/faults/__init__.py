@@ -15,7 +15,10 @@ abstracts away, as *seed-derived*, fully deterministic fault plans:
 * :mod:`~repro.faults.wigle` — corrupted / missing WiGLE records that
   :func:`~repro.core.seeding.seed_database` skips and backfills;
 * :mod:`~repro.faults.chaos` — injected worker crashes exercising the
-  executor's retry + checkpoint machinery.
+  executor's retry + checkpoint machinery;
+* :mod:`~repro.faults.shards` — shard-level crash / stall / corrupt
+  handoff faults exercising the sharded engine's epoch-barrier
+  checkpoint recovery.
 
 Every injected fault is counted under ``faults.*`` metrics and, where
 the frequency allows, evented through the run's
@@ -32,16 +35,24 @@ from repro.faults.plan import (
     OutageParams,
     WigleFaultParams,
 )
+from repro.faults.shards import (
+    SHARD_CRASH_EXIT_CODE,
+    InjectedShardCrash,
+    ShardFaultParams,
+)
 from repro.faults.wigle import ssid_fault_kind
 
 __all__ = [
     "FaultPlan",
     "GilbertElliottParams",
     "GilbertElliottChannel",
+    "InjectedShardCrash",
     "InjectedWorkerCrash",
     "OutageParams",
     "OutageSchedule",
     "OutageWindow",
+    "SHARD_CRASH_EXIT_CODE",
+    "ShardFaultParams",
     "WigleFaultParams",
     "maybe_crash",
     "ssid_fault_kind",

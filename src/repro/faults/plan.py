@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Optional
 
+from repro.faults.shards import ShardFaultParams
+
 
 def _check_probability(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
@@ -109,6 +111,9 @@ class FaultPlan:
     ``worker_crashes`` is executor-level chaos: the first N attempts at
     executing the spec die as if the worker process was OOM-killed,
     which exercises retry + checkpoint without touching the run itself.
+    ``shard_faults`` is shard-level chaos for district-sharded runs:
+    crash / stall / corrupt-handoff faults against one seed-hashed
+    shard, exercising the engine's checkpoint-recovery path.
     """
 
     seed: int = 0
@@ -116,6 +121,7 @@ class FaultPlan:
     outages: Optional[OutageParams] = None
     wigle: Optional[WigleFaultParams] = None
     worker_crashes: int = 0
+    shard_faults: Optional[ShardFaultParams] = None
 
     def __post_init__(self) -> None:
         if self.worker_crashes < 0:
@@ -131,6 +137,7 @@ class FaultPlan:
             and self.outages is None
             and self.wigle is None
             and self.worker_crashes == 0
+            and (self.shard_faults is None or self.shard_faults.empty)
         )
 
     def to_dict(self) -> dict:
@@ -140,7 +147,14 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, doc: dict) -> "FaultPlan":
         """Inverse of :meth:`to_dict`; unknown keys are rejected."""
-        known = {"seed", "channel", "outages", "wigle", "worker_crashes"}
+        known = {
+            "seed",
+            "channel",
+            "outages",
+            "wigle",
+            "worker_crashes",
+            "shard_faults",
+        }
         unknown = set(doc) - known
         if unknown:
             raise ValueError(
@@ -149,6 +163,7 @@ class FaultPlan:
         channel = doc.get("channel")
         outages = doc.get("outages")
         wigle = doc.get("wigle")
+        shard_faults = doc.get("shard_faults")
         return cls(
             seed=int(doc.get("seed", 0)),
             channel=(
@@ -157,4 +172,9 @@ class FaultPlan:
             outages=OutageParams(**outages) if outages is not None else None,
             wigle=WigleFaultParams(**wigle) if wigle is not None else None,
             worker_crashes=int(doc.get("worker_crashes", 0)),
+            shard_faults=(
+                ShardFaultParams(**shard_faults)
+                if shard_faults is not None
+                else None
+            ),
         )

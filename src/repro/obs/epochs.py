@@ -54,6 +54,10 @@ TELEMETRY_SUBDIR = "telemetry"
 #: Phases in barrier order within one epoch.
 PHASES = ("a", "b")
 
+#: Auxiliary record kinds sharing the epoch files (not barrier phases):
+#: ``"c"`` marks a checkpoint write at an epoch barrier.
+AUX_PHASES = ("c",)
+
 
 def resolve_epoch_trace(value: Optional[str] = None) -> bool:
     """Whether per-epoch barrier tracing is on (``REPRO_EPOCH_TRACE``)."""
@@ -121,9 +125,12 @@ class EpochTracer:
         barrier_s: float,
         records_in: Dict[str, int],
         outboxes: Dict[int, list],
+        extra: Optional[Dict[str, object]] = None,
     ) -> None:
         """Append one phase record; ``outboxes`` is the dest->records map
-        the phase produced (summarised here, never retained)."""
+        the phase produced (summarised here, never retained).  ``extra``
+        carries phase-specific fields (e.g. checkpoint ``bytes`` on
+        ``"c"`` records) and never overrides the core keys."""
         if not self._opened:
             self._open()
         rec = {
@@ -139,6 +146,9 @@ class EpochTracer:
             "out": {int(d): len(recs) for d, recs in outboxes.items()},
             "out_bytes": sum(_record_bytes(r) for r in outboxes.values()),
         }
+        if extra:
+            for key, value in extra.items():
+                rec.setdefault(key, value)
         with open(self.path, "a") as fh:
             fh.write(json.dumps(rec) + "\n")
 

@@ -264,6 +264,22 @@ class MetricsRegistry:
         }
         return reg
 
+    def load_snapshot(self, doc: dict) -> "MetricsRegistry":
+        """Replace this registry's state with a :meth:`to_dict` snapshot.
+
+        In-place so every holder of a reference to *this* registry (the
+        sim, the instrumented subsystems) sees the restored state —
+        that's what checkpoint recovery needs, where ``from_dict`` would
+        strand the live references on the pre-crash object.
+        """
+        restored = MetricsRegistry.from_dict(doc)
+        self._counters = restored._counters
+        self._gauges = restored._gauges
+        self._histograms = restored._histograms
+        self._series = restored._series
+        self._timers = restored._timers
+        return self
+
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold ``other`` into this registry (see module doc for rules)."""
         for k, v in other._counters.items():

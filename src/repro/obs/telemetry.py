@@ -50,6 +50,13 @@ DEFAULT_INTERVAL_S = 5.0
 DEFAULT_STALL_AFTER_S = 60.0
 TELEMETRY_SUBDIR = "telemetry"
 
+#: Anomaly events of the sharded engine (crash / respawn / kill / ...).
+#: Written only when something goes wrong — clean runs never create it.
+OPS_EVENTS_FILE = "shardops-events.jsonl"
+
+#: Event kinds that mean a shard recovery is (or just was) in flight.
+RECOVERY_EVENT_KINDS = ("shard.crash", "shard.respawn")
+
 
 def resolve_heartbeat_interval(value: Optional[str] = None) -> Optional[float]:
     """Heartbeat interval in seconds, or None when heartbeats are off.
@@ -222,6 +229,43 @@ def maybe_heartbeat(
     )
 
 
+# -- shard ops events -------------------------------------------------------
+
+
+def ops_events_path(
+    base: Optional[Union[str, pathlib.Path]] = None,
+) -> pathlib.Path:
+    """Path of the shard-ops anomaly event file."""
+    return heartbeat_dir(base) / OPS_EVENTS_FILE
+
+
+def append_ops_event(
+    kind: str,
+    base: Optional[Union[str, pathlib.Path]] = None,
+    clock: Callable[[], float] = _time.time,
+    **fields: object,
+) -> None:
+    """Append one anomaly event (crash, respawn, shutdown escalation...).
+
+    Called only when something went wrong, so a clean run creates no
+    telemetry directory at all — heartbeats-off runs stay file-free.
+    """
+    path = ops_events_path(base)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"wall": clock(), "kind": kind}
+    record.update(fields)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+def read_ops_events(path: Union[str, pathlib.Path]) -> List[dict]:
+    """All ops events in one file ([] when absent; torn lines skipped)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    return [rec for rec in read_heartbeats(path) if "kind" in rec]
+
+
 # -- the watcher ------------------------------------------------------------
 
 
@@ -323,6 +367,8 @@ def render_watch(rows: List[dict], stall_after_s: float) -> str:
             status = "done"
         elif row["stalled"]:
             status = "STALLED (silent > %.0fs)" % stall_after_s
+        elif row.get("recovering"):
+            status = "recovering"
         else:
             status = "running"
         lines.append(
@@ -348,6 +394,7 @@ def clear_heartbeats(
         "worker-*.jsonl",
         "shard-*.jsonl",
         "epochs-*.jsonl",
+        OPS_EVENTS_FILE,
         "*.jsonl.old",
     )
     for pattern in patterns:
@@ -362,24 +409,32 @@ def clear_heartbeats(
 
 
 def _shard_epoch_stats(records: List[dict], window: int) -> dict:
-    """Derived per-shard stats from one epochs-<k>.jsonl record list."""
+    """Derived per-shard stats from one epochs-<k>.jsonl record list.
+
+    Checkpoint records (``phase == "c"``) share the file but are not
+    barrier phases — they are excluded from the wall-time means and the
+    epochs/sec rate, and summarised separately.
+    """
     done_epochs = {
         int(r["epoch"]) for r in records if r.get("phase") == "b"
     }
-    recent = records[-window:]
+    phase_records = [r for r in records if r.get("phase") in ("a", "b")]
+    ckpt_records = [r for r in records if r.get("phase") == "c"]
+    latest = phase_records[-1] if phase_records else records[-1]
+    recent = phase_records[-window:]
     phase_walls = [float(r.get("wall_s", 0.0)) for r in recent]
     barrier_walls = [float(r.get("barrier_s", 0.0)) for r in recent]
     handoff_out = sum(
-        int(n) for r in records for n in r.get("out", {}).values()
+        int(n) for r in phase_records for n in r.get("out", {}).values()
     )
-    out_bytes = sum(int(r.get("out_bytes", 0)) for r in records)
+    out_bytes = sum(int(r.get("out_bytes", 0)) for r in phase_records)
     walls = [float(r.get("wall", 0.0)) for r in recent]
     span = (max(walls) - min(walls)) if len(walls) > 1 else 0.0
     return {
         "epochs_done": (max(done_epochs) + 1) if done_epochs else 0,
         "epochs_total": int(records[-1].get("epochs", 0)),
-        "last_epoch": int(records[-1]["epoch"]),
-        "last_phase": records[-1].get("phase"),
+        "last_epoch": int(latest["epoch"]),
+        "last_phase": latest.get("phase"),
         "phase_wall_mean_s": (
             sum(phase_walls) / len(phase_walls) if phase_walls else 0.0
         ),
@@ -391,6 +446,8 @@ def _shard_epoch_stats(records: List[dict], window: int) -> dict:
         # Two phase records per epoch -> epochs/sec over the window.
         "epochs_per_s": (len(recent) / 2.0) / span if span > 0 else None,
         "last_wall": float(records[-1].get("wall", 0.0)),
+        "checkpoints": len(ckpt_records),
+        "checkpoint_bytes": sum(int(r.get("bytes", 0)) for r in ckpt_records),
     }
 
 
@@ -431,6 +488,32 @@ def fleet_snapshot(
         shard_id: _shard_epoch_stats(records, window)
         for shard_id, records in load_epoch_dir(directory).items()
     }
+
+    events = read_ops_events(directory / OPS_EVENTS_FILE)
+    crash_events = [e for e in events if e.get("kind") == "shard.crash"]
+    respawn_events = [e for e in events if e.get("kind") == "shard.respawn"]
+    recovery_walls = [
+        float(e.get("wall", 0.0))
+        for e in events
+        if e.get("kind") in RECOVERY_EVENT_KINDS
+    ]
+    recovery_active = bool(recovery_walls) and (
+        now - max(recovery_walls) <= stall_after_s
+    )
+    crashes_by_shard: dict = {}
+    for e in crash_events:
+        if e.get("shard") is not None:
+            key = str(e["shard"])
+            crashes_by_shard[key] = crashes_by_shard.get(key, 0) + 1
+    if recovery_active:
+        # A respawned shard restarts its heartbeat file and epoch
+        # counter, which the zero-epochs stall check would misread as a
+        # wedge — while a recovery is in flight, shard stalls are the
+        # recovery, not a new problem.
+        for row in shards:
+            if row["stalled"]:
+                row["stalled"] = False
+                row["recovering"] = True
 
     problems: List[str] = []
     for row in rows:
@@ -482,6 +565,12 @@ def fleet_snapshot(
         "workers": workers,
         "shards": shards,
         "epochs": {str(k): v for k, v in sorted(epoch_stats.items())},
+        "recovery": {
+            "crashes": len(crash_events),
+            "respawns": len(respawn_events),
+            "crashes_by_shard": crashes_by_shard,
+            "active": recovery_active,
+        },
         "health": {
             "straggler_ratio": straggler_ratio,
             "straggler_threshold": straggler_threshold,
@@ -489,6 +578,9 @@ def fleet_snapshot(
             "imbalance_threshold": imbalance_threshold,
             "epochs_per_s": min(rates) if rates else None,
             "stalled": sum(1 for r in rows if r["stalled"]),
+            "crashes": len(crash_events),
+            "recoveries": len(respawn_events),
+            "recovery_active": recovery_active,
             "problems": problems,
             "healthy": not problems,
         },
@@ -503,25 +595,36 @@ def render_top(doc: dict) -> str:
     """The ``repro obs top`` dashboard: fleet table, per-shard epoch
     stats, and the derived health line."""
     health = doc["health"]
+    recovery = doc.get("recovery", {})
     rows = doc["workers"] + doc["shards"]
+    recovery_cell = ""
+    if recovery.get("crashes") or recovery.get("respawns"):
+        recovery_cell = "   recoveries %d (%d crash(es)%s)" % (
+            recovery.get("respawns", 0),
+            recovery.get("crashes", 0),
+            ", in flight" if recovery.get("active") else "",
+        )
     lines = [
         "fleet: %d worker(s), %d shard(s)   epochs/s %s   "
-        "straggler %s   imbalance %s"
+        "straggler %s   imbalance %s%s"
         % (
             len(doc["workers"]),
             len(doc["shards"]),
             _ratio_cell(health["epochs_per_s"]),
             _ratio_cell(health["straggler_ratio"]),
             _ratio_cell(health["handoff_imbalance"]),
+            recovery_cell,
         ),
         "",
         render_watch(rows, doc["stall_after_s"]),
     ]
     if doc["epochs"]:
+        crashes_by_shard = recovery.get("crashes_by_shard", {})
         lines.append("")
         lines.append(
             f"{'shard':>6} {'epoch':>9} {'phase ms':>9} {'barrier ms':>11} "
-            f"{'handoff recs':>13} {'bytes':>10} {'ep/s':>6}"
+            f"{'handoff recs':>13} {'bytes':>10} {'ep/s':>6} {'ckpt':>5} "
+            f"{'recov':>6}"
         )
         for shard_id, stats in doc["epochs"].items():
             epoch_cell = "%d/%d" % (stats["epochs_done"], stats["epochs_total"])
@@ -533,7 +636,9 @@ def render_top(doc: dict) -> str:
                 f"{1e3 * stats['barrier_wall_mean_s']:>11.2f} "
                 f"{stats['handoff_out_records']:>13} "
                 f"{stats['handoff_out_bytes']:>10} "
-                f"{rate_cell:>6}"
+                f"{rate_cell:>6} "
+                f"{stats.get('checkpoints', 0):>5} "
+                f"{crashes_by_shard.get(str(shard_id), 0):>6}"
             )
     lines.append("")
     if health["healthy"]:

@@ -17,23 +17,39 @@ are bit-identical at any ``--shards`` value, a property the golden
 harness pins (see :mod:`repro.experiments.golden`).
 """
 
+from repro.sim.shards.checkpoint import (
+    CKPT_EVERY_ENV,
+    CheckpointError,
+    resolve_ckpt_every,
+)
 from repro.sim.shards.engine import (
+    MAX_RECOVERIES_ENV,
+    PHASE_TIMEOUT_ENV,
     SHARD_MODE_ENV,
     SHARDS_ENV,
+    ShardCrash,
     ShardedCitySim,
     ShardRunResult,
     resolve_shard_mode,
     resolve_shards,
     run_sharded,
 )
+from repro.sim.shards.handoff import CorruptHandoffError
 from repro.sim.shards.scenario import ShardScenario
 
 __all__ = [
+    "CKPT_EVERY_ENV",
+    "CheckpointError",
+    "CorruptHandoffError",
+    "MAX_RECOVERIES_ENV",
+    "PHASE_TIMEOUT_ENV",
     "SHARD_MODE_ENV",
     "SHARDS_ENV",
+    "ShardCrash",
     "ShardScenario",
     "ShardedCitySim",
     "ShardRunResult",
+    "resolve_ckpt_every",
     "resolve_shard_mode",
     "resolve_shards",
     "run_sharded",

@@ -104,3 +104,25 @@ class LiteHunter:
                 for walker, sent in sorted(self.sent.items())
             ),
         )
+
+    @classmethod
+    def restore(
+        cls,
+        universe: int,
+        pb_size: int,
+        fb_size: int,
+        burst_size: int,
+        state,
+    ) -> "LiteHunter":
+        """Rebuild a hunter from a :meth:`state` tuple (checkpoint path).
+
+        Round-trip contract: ``restore(..., h.state()).state() ==
+        h.state()`` exactly, so recovered runs replay bit-identically.
+        """
+        weights, order, fb, sent = state
+        hunter = cls(universe, pb_size, fb_size, burst_size)
+        hunter.weights = list(weights)
+        hunter.order = list(order)
+        hunter.fb = list(fb)
+        hunter.sent = {walker: dict(items) for walker, items in sent}
+        return hunter

@@ -19,10 +19,22 @@ arrival order, so the processing order of any record batch is
 identical at every shard count.  That invariance is the whole protocol:
 receivers sort, then apply; ties are impossible because two records of
 the same kind at the same time differ in walker or sensor id.
+
+Robustness (PR 8): records cross process boundaries and survive in
+checkpoint files, so the module also carries the *readers* — schema
+validation (:func:`validate_record` / :func:`validate_batch`, raising
+:class:`CorruptHandoffError` on torn, mangled or duplicated records)
+and a CRC-framed byte codec (:func:`encode_records` /
+:func:`decode_records`) used by the epoch-barrier checkpoints.  A
+corrupt batch is *detected*, never applied: the engine turns the error
+into a shard crash and recovers from the last consistent barrier.
 """
 
 from __future__ import annotations
 
+import pickle
+import struct
+import zlib
 from typing import Iterable, List, Tuple
 
 MIGRATE = "m"
@@ -71,3 +83,125 @@ def sorted_records(records: Iterable[Record]) -> List[Record]:
 def applied_key(record: Record) -> Tuple[str, float, int, int, int]:
     """Compact identity of an applied record, for the handoff log."""
     return (record[0], record[1], record[2], record[3], record[4])
+
+
+# -- validation --------------------------------------------------------------
+
+
+class CorruptHandoffError(ValueError):
+    """A handoff record or batch failed schema/CRC validation."""
+
+
+#: Total tuple arity per record kind (header fields + payload).
+_ARITY = {MIGRATE: 6, PROBE: 5, OFFER: 6, FEEDBACK: 6}
+
+#: Length of a migrate payload (:data:`~repro.sim.shards.soa.DynamicRow`).
+_ROW_LEN = 7
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate_record(record) -> Record:
+    """Schema-check one record; raises :class:`CorruptHandoffError`.
+
+    Checks the kind tag, the tuple arity, the header field types and
+    the payload shape — everything a truncated or bit-mangled record
+    trips over.  Value-level corruption *within* a well-typed field is
+    out of scope here (checkpoint files add a CRC for that)."""
+    if not isinstance(record, tuple):
+        raise CorruptHandoffError(
+            "record is %s, not a tuple: %r" % (type(record).__name__, record)
+        )
+    if not record or record[0] not in _ARITY:
+        raise CorruptHandoffError("unknown record kind: %r" % (record[:1],))
+    kind = record[0]
+    if len(record) != _ARITY[kind]:
+        raise CorruptHandoffError(
+            "truncated %r record: %d fields, expected %d: %r"
+            % (kind, len(record), _ARITY[kind], record)
+        )
+    if not isinstance(record[1], (int, float)) or isinstance(record[1], bool):
+        raise CorruptHandoffError("non-numeric time field: %r" % (record,))
+    for idx, name in ((2, "district"), (3, "walker"), (4, "sensor")):
+        if not _is_int(record[idx]):
+            raise CorruptHandoffError(
+                "non-integer %s field: %r" % (name, record)
+            )
+    if kind == MIGRATE:
+        row = record[5]
+        if not isinstance(row, tuple) or len(row) != _ROW_LEN:
+            raise CorruptHandoffError("bad migrate payload row: %r" % (record,))
+    elif kind == OFFER:
+        burst = record[5]
+        if not isinstance(burst, tuple) or not all(_is_int(s) for s in burst):
+            raise CorruptHandoffError("bad offer burst: %r" % (record,))
+    elif kind == FEEDBACK:
+        if not _is_int(record[5]):
+            raise CorruptHandoffError("bad feedback ssid: %r" % (record,))
+    return record
+
+
+def validate_batch(records: Iterable[Record]) -> List[Record]:
+    """Validate every record of a batch and reject duplicates.
+
+    Two records sharing an :func:`applied_key` cannot occur in a
+    healthy run (each record is emitted exactly once by exactly one
+    owner), so a duplicate means a replayed or corrupted exchange."""
+    seen = set()
+    out: List[Record] = []
+    for record in records:
+        validate_record(record)
+        key = applied_key(record)
+        if key in seen:
+            raise CorruptHandoffError("duplicate record: %r" % (record,))
+        seen.add(key)
+        out.append(record)
+    return out
+
+
+def validate_outbox(outbox) -> None:
+    """Validate one phase outbox (dest shard -> record list)."""
+    for dest, records in outbox.items():
+        if not _is_int(dest) or dest < 0:
+            raise CorruptHandoffError("bad destination shard: %r" % (dest,))
+        validate_batch(records)
+
+
+# -- byte codec (checkpoint files) -------------------------------------------
+
+_CODEC_MAGIC = b"RHO1"
+
+
+def encode_records(records: Iterable[Record]) -> bytes:
+    """Frame a record batch as ``magic + crc32(body) + pickle(body)``.
+
+    Used for the pending-inbox section of epoch-barrier checkpoints;
+    the CRC turns torn or bit-flipped files into clean
+    :class:`CorruptHandoffError` instead of silently wrong replays."""
+    body = pickle.dumps(list(records), protocol=4)
+    return _CODEC_MAGIC + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def decode_records(blob: bytes) -> List[Record]:
+    """Inverse of :func:`encode_records`, fully validated."""
+    if not isinstance(blob, (bytes, bytearray)) or len(blob) < 8:
+        raise CorruptHandoffError(
+            "handoff blob too short: %d bytes" % len(blob or b"")
+        )
+    if bytes(blob[:4]) != _CODEC_MAGIC:
+        raise CorruptHandoffError("bad handoff blob magic: %r" % (blob[:4],))
+    (crc,) = struct.unpack(">I", bytes(blob[4:8]))
+    body = bytes(blob[8:])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CorruptHandoffError("handoff blob CRC mismatch")
+    try:
+        records = pickle.loads(body)
+    except Exception as exc:  # unpickling garbage raises many types
+        raise CorruptHandoffError("undecodable handoff blob: %s" % exc) from exc
+    if not isinstance(records, list):
+        raise CorruptHandoffError(
+            "handoff blob decodes to %s, not a list" % type(records).__name__
+        )
+    return validate_batch(records)

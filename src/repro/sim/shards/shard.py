@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 import time as _time
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.dot11.medium import reach_with_motion
@@ -42,6 +43,13 @@ from repro.obs.epochs import maybe_epoch_tracer
 from repro.obs.registry import MetricsRegistry
 from repro.sim.clock import epoch_schedule
 from repro.sim.shards import handoff
+from repro.sim.shards.checkpoint import (
+    CKPT_SCHEMA,
+    CheckpointError,
+    read_blob,
+    shard_ckpt_name,
+    write_blob,
+)
 from repro.sim.shards.attacker import (
     BUCKET_FRESHNESS,
     BUCKET_POPULARITY,
@@ -495,3 +503,107 @@ class ShardRuntime:
                 sid: hunter.state() for sid, hunter in sorted(self.hunters.items())
             }
         return result
+
+    # -- checkpointing (PR 8) ---------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Everything mutable, as plain picklable values.
+
+        The static majority of a shard — walker trajectories, sensor
+        layout, the partition — is a pure function of the scenario and
+        is *re-derived* on restore, so a checkpoint carries only the
+        dynamic rows of owned walkers, hunter buffers, counters and the
+        metrics snapshot.  Non-owned rows need no saving: a row only
+        matters once its walker migrates in, and the migration record
+        itself carries the authoritative row.
+        """
+        batch = self.walkers
+        return {
+            "schema": CKPT_SCHEMA,
+            "shard": self.shard_id,
+            "shards": self.shards,
+            "seed": self.scenario.seed,
+            "epoch": self.epochs_done,
+            "hits": self.hits,
+            "owned": list(self.owned),
+            "rows": {int(i): batch.dynamic_row(i) for i in self.owned},
+            "hunters": {
+                sid: hunter.state()
+                for sid, hunter in sorted(self.hunters.items())
+            },
+            "metrics": self.metrics.to_dict(),
+            "log": list(self._log) if self._log is not None else None,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Roll this (freshly constructed) runtime back to a barrier."""
+        if not isinstance(payload, dict) or payload.get("schema") != CKPT_SCHEMA:
+            raise CheckpointError("bad shard checkpoint schema")
+        for key, want in (
+            ("shard", self.shard_id),
+            ("shards", self.shards),
+            ("seed", self.scenario.seed),
+        ):
+            if payload.get(key) != want:
+                raise CheckpointError(
+                    "checkpoint %s=%r does not match runtime %s=%r"
+                    % (key, payload.get(key), key, want)
+                )
+        for i, row in payload["rows"].items():
+            self.walkers.apply_row(int(i), tuple(row))
+        self.owned = sorted(int(i) for i in payload["owned"])
+        sc = self.scenario
+        restored_hunters = {}
+        for sid, state in payload["hunters"].items():
+            if sid not in self.hunters:
+                raise CheckpointError(
+                    "checkpoint hunter %r not owned by shard %d"
+                    % (sid, self.shard_id)
+                )
+            restored_hunters[sid] = LiteHunter.restore(
+                sc.ssid_universe, sc.pb_size, sc.fb_size, sc.burst_size, state
+            )
+        self.hunters.update(restored_hunters)
+        self.metrics.load_snapshot(payload["metrics"])
+        self.hits = int(payload["hits"])
+        self.epochs_done = int(payload["epoch"])
+        if self._log is not None and payload.get("log") is not None:
+            self._log = list(payload["log"])
+        self._phase_end_pc = None
+
+    def restore_file(self, path: Path) -> None:
+        """Restore from a :meth:`write_checkpoint` blob (CRC-validated)."""
+        self.restore_state(read_blob(Path(path)))
+
+    def write_checkpoint(self, epoch: int, directory: Path) -> dict:
+        """Serialise this shard's barrier state; returns the write record.
+
+        Observe-only by construction: all accounting lands under
+        ``shardops.*`` (stripped from digests) and the state snapshot is
+        taken *before* the accounting, so a checkpointed run and a plain
+        run step through identical ``shardsim.*`` space.
+        """
+        pc0 = _time.perf_counter()
+        path = Path(directory) / shard_ckpt_name(self.shard_id, epoch)
+        nbytes = write_blob(path, self.checkpoint_state())
+        wall_s = _time.perf_counter() - pc0
+        self.metrics.inc("shardops.ckpt.writes")
+        self.metrics.inc("shardops.ckpt.bytes", nbytes)
+        self.metrics.timer_add("shardops.ckpt_wall", wall_s)
+        if self.tracer is not None:
+            self.tracer.record(
+                epoch,
+                "c",
+                wall_s=wall_s,
+                barrier_s=0.0,
+                records_in={},
+                outboxes={},
+                extra={"bytes": nbytes},
+            )
+        return {
+            "shard": self.shard_id,
+            "epoch": epoch,
+            "path": str(path),
+            "bytes": nbytes,
+            "wall_s": wall_s,
+        }

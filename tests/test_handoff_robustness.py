@@ -1,0 +1,183 @@
+"""Handoff robustness: corrupt records are detected, never applied.
+
+PR 8 sends handoff records across process boundaries and stores them
+in checkpoint files, so the codec and the schema validator become
+crash-safety surfaces.  Properties:
+
+* encode/decode round-trips any well-formed record batch bit-exactly
+  (hypothesis when installed, a seeded sweep otherwise);
+* every corruption mode we inject in chaos runs — truncated blobs,
+  bit flips anywhere in the frame, duplicated records, torn or
+  mangled tuples — raises :class:`CorruptHandoffError` instead of
+  yielding a plausible-but-wrong batch.
+"""
+
+import pytest
+
+from repro.sim.shards.handoff import (
+    CorruptHandoffError,
+    decode_records,
+    encode_records,
+    feedback,
+    migrate,
+    offer,
+    probe,
+    sorted_records,
+    validate_batch,
+    validate_outbox,
+    validate_record,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without dev extras
+    HAVE_HYPOTHESIS = False
+
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+ROW = (1.0, 2.0, 0.5, -0.25, 3.0, 1.5, 0.0)
+
+
+def _sample_batch(seed: int):
+    """A deterministic mixed batch with unique applied keys."""
+    base = seed * 10
+    return sorted_records(
+        [
+            migrate(float(base + 1), 2, base + 10, ROW),
+            probe(float(base + 2), 1, base + 11, 3),
+            offer(float(base + 3), 0, base + 12, 4, (7, 8, 9)),
+            feedback(float(base + 4), 3, base + 13, 5, 42),
+        ]
+    )
+
+
+if HAVE_HYPOTHESIS:
+    _times = st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    _ids = st.integers(min_value=0, max_value=10_000)
+    _rows = st.tuples(*([st.floats(allow_nan=False, allow_infinity=False)] * 7))
+    _bursts = st.tuples(_ids, _ids, _ids)
+
+    _records = st.one_of(
+        st.builds(migrate, _times, _ids, _ids, _rows),
+        st.builds(probe, _times, _ids, _ids, _ids),
+        st.builds(offer, _times, _ids, _ids, _ids, _bursts),
+        st.builds(feedback, _times, _ids, _ids, _ids, _ids),
+    )
+
+    @needs_hypothesis
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_records, max_size=24, unique_by=lambda r: r[:5]))
+    def test_roundtrip_property(records):
+        assert decode_records(encode_records(records)) == list(records)
+
+    @needs_hypothesis
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(_records, min_size=1, max_size=8, unique_by=lambda r: r[:5]),
+        st.data(),
+    )
+    def test_any_bit_flip_is_detected(records, data):
+        """Flipping any single bit of the frame either raises
+        CorruptHandoffError or still decodes to the original batch
+        (pickle framing can tolerate some don't-care bits); it never
+        yields a *different* batch."""
+        blob = encode_records(records)
+        pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        flipped = bytearray(blob)
+        flipped[pos] ^= 1 << bit
+        try:
+            decoded = decode_records(bytes(flipped))
+        except CorruptHandoffError:
+            return
+        assert decoded == list(records)
+
+
+def test_roundtrip_seeded_sweep():
+    for seed in range(8):
+        batch = _sample_batch(seed)
+        assert decode_records(encode_records(batch)) == batch
+    assert decode_records(encode_records([])) == []
+
+
+class TestBlobCorruption:
+    def test_truncated_blob(self):
+        blob = encode_records(_sample_batch(1))
+        for cut in (0, 3, 7, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CorruptHandoffError):
+                decode_records(blob[:cut])
+
+    def test_bad_magic(self):
+        blob = encode_records(_sample_batch(1))
+        with pytest.raises(CorruptHandoffError, match="magic"):
+            decode_records(b"XXXX" + blob[4:])
+
+    def test_crc_mismatch_on_body_flip(self):
+        blob = bytearray(encode_records(_sample_batch(1)))
+        blob[10] ^= 0xFF
+        with pytest.raises(CorruptHandoffError, match="CRC"):
+            decode_records(bytes(blob))
+
+    def test_non_list_payload_rejected(self):
+        import pickle
+        import struct
+        import zlib
+
+        body = pickle.dumps({"not": "a list"}, protocol=4)
+        blob = b"RHO1" + struct.pack(">I", zlib.crc32(body)) + body
+        with pytest.raises(CorruptHandoffError, match="not a list"):
+            decode_records(blob)
+
+    def test_duplicate_record_rejected(self):
+        rec = probe(1.0, 0, 5, 2)
+        with pytest.raises(CorruptHandoffError, match="duplicate"):
+            decode_records(encode_records([rec, rec]))
+
+
+class TestRecordValidation:
+    def test_good_records_pass(self):
+        for rec in _sample_batch(0):
+            assert validate_record(rec) is rec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-a-tuple",
+            (),
+            ("x", 1.0, 0, 1, 2),  # unknown kind
+            ("p", 1.0, 0, 1),  # truncated
+            ("p", 1.0, 0, 1, 2, 3),  # over-long
+            ("p", "soon", 0, 1, 2),  # non-numeric time
+            ("p", True, 0, 1, 2),  # bool masquerading as time
+            ("p", 1.0, 0.5, 1, 2),  # non-int district
+            ("m", 1.0, 0, 1, -1, "row"),  # bad migrate payload
+            ("m", 1.0, 0, 1, -1, ROW[:3]),  # torn migrate row
+            ("o", 1.0, 0, 1, 2, [7, 8]),  # burst must be a tuple
+            ("o", 1.0, 0, 1, 2, (7, "8")),  # non-int ssid in burst
+            ("f", 1.0, 0, 1, 2, "ssid"),  # non-int feedback ssid
+        ],
+    )
+    def test_bad_records_rejected(self, bad):
+        with pytest.raises(CorruptHandoffError):
+            validate_record(bad)
+
+    def test_batch_duplicate_detection(self):
+        batch = _sample_batch(2)
+        with pytest.raises(CorruptHandoffError, match="duplicate"):
+            validate_batch(batch + batch[:1])
+
+    def test_outbox_bad_destination(self):
+        with pytest.raises(CorruptHandoffError, match="destination"):
+            validate_outbox({-1: []})
+        with pytest.raises(CorruptHandoffError, match="destination"):
+            validate_outbox({"0": []})
+
+    def test_outbox_good(self):
+        validate_outbox({0: _sample_batch(0), 3: _sample_batch(1)})

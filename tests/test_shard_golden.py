@@ -18,7 +18,13 @@ import pytest
 from repro.experiments.golden import golden_shard_specs, run_golden_shards
 from repro.obs.golden import diff_metrics_docs, metrics_digest
 from repro.obs.registry import validate_metrics_doc
-from repro.sim.shards import SHARD_MODE_ENV, SHARDS_ENV
+from repro.sim.shards import (
+    CKPT_EVERY_ENV,
+    MAX_RECOVERIES_ENV,
+    PHASE_TIMEOUT_ENV,
+    SHARD_MODE_ENV,
+    SHARDS_ENV,
+)
 from repro.sim.shards.soa import BACKEND_ENV
 
 DATA_DIR = pathlib.Path(__file__).resolve().parent / "data"
@@ -33,6 +39,9 @@ _SCOPED_ENV = (
     SHARDS_ENV,
     SHARD_MODE_ENV,
     BACKEND_ENV,
+    CKPT_EVERY_ENV,
+    PHASE_TIMEOUT_ENV,
+    MAX_RECOVERIES_ENV,
 )
 
 
@@ -147,3 +156,24 @@ class TestShardCountInvariance:
         )
         spans = sorted(telemetry.glob("epochs-*.jsonl"))
         assert len(spans) == 2, spans
+
+    def test_checkpoint_on_invariance(self, serial_doc):
+        """Epoch-barrier checkpointing is observation-only: with
+        ``REPRO_SHARD_CKPT_EVERY`` set, every metric of the sharded
+        golden batch must stay bit-identical to the checkpoint-free
+        fixture — state is captured before any checkpoint accounting,
+        so the sim steps the same either way."""
+        os.environ[CKPT_EVERY_ENV] = "7"
+        try:
+            ckpt_doc = run_golden_shards(workers=1, shards=2)
+        finally:
+            os.environ.pop(CKPT_EVERY_ENV, None)
+        _assert_same(
+            serial_doc, ckpt_doc,
+            "checkpointing off vs %s=7 (shards=2)" % CKPT_EVERY_ENV,
+        )
+        assert metrics_digest(ckpt_doc) == fixture_digest()
+        ckpt_dir = (
+            pathlib.Path(os.environ["REPRO_ARTIFACT_DIR"]) / "checkpoints"
+        )
+        assert (ckpt_dir / "manifest.json").is_file()
