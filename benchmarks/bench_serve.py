@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark: sustained probes/s vs clients x workers.
+
+Pushes the same deterministic synthetic probe stream (broadcast-heavy
+city traffic with a direct-probe minority and association feedback)
+through a fresh :class:`~repro.serve.core.RankingCore` behind the async
+:class:`~repro.serve.service.RankingService` at every grid point, and
+measures sustained throughput plus exact p50/p99 burst-selection
+latency.  The serving determinism contract — burst decisions
+byte-identical at any worker count — is re-checked on every benchmark
+run, not just in the differential tests.
+
+Writes ``BENCH_serve.json`` to the artefact directory
+(``REPRO_ARTIFACT_DIR``, default ``benchmarks/out``) and prints the
+table.  ``--assert-probes X`` exits non-zero unless the best grid point
+sustains at least ``X`` probes/s — the load-smoke floor CI's
+serve-smoke job enforces.
+
+The committed baseline (``benchmarks/baselines/BENCH_serve.json``)
+carries deliberately conservative throughput numbers — a fraction of
+what a dev machine measures — so the ``repro obs bench`` gate catches
+order-of-magnitude regressions without tripping on runner noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--assert-probes 2000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _shared import emit, out_dir  # noqa: E402
+from repro.serve.workload import run_bench_grid  # noqa: E402
+
+ARTIFACT = "BENCH_serve.json"
+
+CLIENT_GRID = (20, 100)
+WORKER_GRID = (1, 4)
+N_EVENTS = 4000
+SEED = 0
+CITY_SEED = 42
+
+
+def render(doc):
+    lines = [
+        "Serving benchmark: sustained probes/s vs clients x workers",
+        f"{doc['n_events']} events per stream, seed {doc['seed']}, "
+        f"best of {doc['repeats']} run(s) per point",
+        "",
+        f"{'clients':>8} {'workers':>8} {'probes/s':>10} {'p50 us':>8} "
+        f"{'p99 us':>8} {'shed':>6} {'cache':>6}",
+    ]
+    for p in doc["grid"]:
+        cache = (
+            f"{p['rank_cache_hit_rate']:.2f}"
+            if p["rank_cache_hit_rate"] is not None
+            else "-"
+        )
+        lines.append(
+            f"{p['clients']:>8} {p['workers']:>8} {p['probes_per_s']:>10} "
+            f"{p['p50_us']:>8.1f} {p['p99_us']:>8.1f} "
+            f"{p['shed_fraction']:>6.3f} {cache:>6}"
+        )
+    lines.append("")
+    lines.append("decision digests identical across worker counts: OK")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--assert-probes",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the best grid point sustains X probes/s",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="runs per grid point; the fastest is kept (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_bench_grid(
+        clients=CLIENT_GRID,
+        workers=WORKER_GRID,
+        n_events=N_EVENTS,
+        seed=SEED,
+        city_seed=CITY_SEED,
+        repeats=args.repeats,
+    )
+    doc["python"] = platform.python_version()
+    doc["machine"] = platform.machine()
+    artifact = out_dir() / ARTIFACT
+    artifact.write_text(json.dumps(doc, indent=2) + "\n")
+    emit("bench_serve", render(doc))
+    print(f"\nwrote {artifact}")
+
+    if args.assert_probes is not None:
+        best = doc["max_probes_per_s"]
+        if best < args.assert_probes:
+            print(
+                "FAIL: best grid point sustained only %.0f probes/s "
+                "(< %.0f)" % (best, args.assert_probes)
+            )
+            return 1
+        print(
+            "load floor OK: %.0f probes/s >= %.0f"
+            % (best, args.assert_probes)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ any code:
 * ``shards``   — district-sharded city runs (``shards run``) and the
   shard-count-invariance golden batch (``shards golden --check`` is
   what CI's shard-smoke job drives; see EXPERIMENTS.md);
+* ``serve``    — the attacker-as-a-service layer: serve a synthetic
+  probe stream (``serve run``), replay a UJI-shaped JSONL trace to a
+  canonical decision digest (``serve replay``), or sweep the serving
+  throughput grid (``serve bench``); see the README "Serving" section;
 * ``obs``      — inspect a ``metrics.json`` artefact (summarize /
   export events as JSONL / top-N SSIDs by hits), reconstruct a client's
   hunt story from a lineage trace, render the hot-handler profile,
@@ -625,6 +629,150 @@ def _cmd_shards_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_core(args: argparse.Namespace):
+    """(city, wigle, core) seeded the way every serve subcommand expects."""
+    from repro.serve.core import RankingCore
+
+    city = default_city(args.city_seed)
+    wigle = shared_wigle(args.city_seed)
+    profile = venue_profile(args.venue)
+    position = city.venue(profile.venue_name).region.center
+    core = RankingCore.seeded(
+        wigle, city.heatmap, position, seed=args.seed
+    )
+    return city, wigle, core
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.prom import validate_prom_text, write_prom
+    from repro.serve.service import run_stream, serve_metrics_doc
+    from repro.serve.workload import synthetic_stream
+    from repro.wigle.queries import top_ssids_by_count
+
+    city, wigle, core = _serve_core(args)
+    pool = [s for s, _ in top_ssids_by_count(wigle, 60)]
+    events = synthetic_stream(
+        args.clients,
+        args.events,
+        seed=args.seed,
+        ssid_pool=pool,
+    )
+    service = run_stream(
+        core,
+        events,
+        workers=args.workers,
+        queue_max=args.queue_max,
+        shed=args.shed,
+    )
+    stats = core.stats()
+    print(
+        "served %d events with %d worker(s): %d decisions, %d shed"
+        % (
+            len(events),
+            service.workers,
+            len(service.decisions),
+            int(service.shed_total()),
+        )
+    )
+    print(
+        "  db %d SSIDs  clients %d  rank cache %d hit / %d miss"
+        % (
+            stats["db_size"],
+            stats["clients"],
+            stats["rank_cache_hits"],
+            stats["rank_cache_misses"],
+        )
+    )
+    doc = serve_metrics_doc(
+        service, seed=args.seed, venue=args.venue
+    )
+    metrics_path = pathlib.Path(args.metrics_out or artifact_path("metrics"))
+    metrics_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(metrics_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    prom_path = write_prom(doc, metrics_path.with_suffix(".prom"))
+    samples = validate_prom_text(prom_path.read_text())
+    print(f"metrics written to {metrics_path}")
+    print(f"{samples} exposition samples written to {prom_path}")
+    return 0
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.serve.events import decisions_digest
+    from repro.serve.service import run_stream
+    from repro.serve.trace import load_trace, write_decisions
+
+    try:
+        events, stats = load_trace(args.trace)
+    except FileNotFoundError:
+        print(f"no trace at {args.trace}", file=sys.stderr)
+        return 1
+    if not events:
+        print(
+            f"trace {args.trace} yielded no events "
+            f"({stats.skipped} line(s) skipped)",
+            file=sys.stderr,
+        )
+        return 1
+    _, _, core = _serve_core(args)
+    service = run_stream(core, events, workers=args.workers)
+    digest = decisions_digest(service.decisions)
+    print(
+        "replayed %d events (%d line(s) skipped): %d decisions"
+        % (len(events), stats.skipped, len(service.decisions))
+    )
+    for line_no, reason in stats.reasons[:5]:
+        print(f"  skipped line {line_no}: {reason}")
+    print(f"  decisions digest {digest}")
+    if args.decisions_out:
+        write_decisions(service.decisions, args.decisions_out)
+        print(f"decisions written to {args.decisions_out}")
+    if args.strict and stats.skipped:
+        return 1
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.workload import run_bench_grid
+
+    doc = run_bench_grid(
+        clients=args.clients,
+        workers=args.workers,
+        n_events=args.events,
+        seed=args.seed,
+        city_seed=args.city_seed,
+        repeats=args.repeats,
+    )
+    rows = [
+        [
+            p["clients"],
+            p["workers"],
+            p["probes_per_s"],
+            p["p50_us"],
+            p["p99_us"],
+            p["shed_fraction"],
+            p["rank_cache_hit_rate"],
+        ]
+        for p in doc["grid"]
+    ]
+    print(render_table(
+        ["clients", "workers", "probes/s", "p50 us", "p99 us",
+         "shed frac", "cache hit"],
+        rows,
+        title=f"serving throughput grid ({doc['n_events']} events, "
+              f"seed {doc['seed']})",
+    ))
+    print(f"max sustained probes/s: {doc['max_probes_per_s']}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"benchmark document written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -857,6 +1005,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the comparison to this JSONL trajectory artefact",
     )
     obs_bench.set_defaults(func=_cmd_obs_bench)
+
+    serve = sub.add_parser(
+        "serve", help="attacker-as-a-service probe-stream ranking"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="serve a deterministic synthetic probe stream"
+    )
+    serve_run.add_argument("--clients", type=int, default=50,
+                           help="synthetic client population (default 50)")
+    serve_run.add_argument("--events", type=int, default=2000,
+                           help="stream length in events (default 2000)")
+    serve_run.add_argument("--shed", action="store_true",
+                           help="drop probes when the ingress queue is full "
+                                "instead of backpressuring")
+    serve_run.add_argument("--queue-max", type=int,
+                           help="ingress queue bound (default: "
+                                "REPRO_SERVE_QUEUE_MAX, else 1024)")
+    serve_run.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="metrics artefact to write (default: metrics.json in the "
+             "resolved artefact directory; a .prom exposition is written "
+             "alongside)",
+    )
+    serve_run.set_defaults(func=_cmd_serve_run)
+
+    serve_replay = serve_sub.add_parser(
+        "replay",
+        help="replay a UJI-shaped JSONL probe trace to burst decisions",
+    )
+    serve_replay.add_argument("trace", help="JSONL trace file")
+    serve_replay.add_argument(
+        "--decisions-out", metavar="PATH",
+        help="write the burst decisions as JSONL here",
+    )
+    serve_replay.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any trace line was skipped",
+    )
+    serve_replay.set_defaults(func=_cmd_serve_replay)
+
+    serve_bench = serve_sub.add_parser(
+        "bench", help="sweep the serving throughput grid"
+    )
+    serve_bench.add_argument("--clients", type=int, nargs="+",
+                             default=[20, 100])
+    serve_bench.add_argument("--workers", type=int, nargs="+",
+                             default=[1, 4])
+    serve_bench.add_argument("--events", type=int, default=4000)
+    serve_bench.add_argument("--repeats", type=int, default=1,
+                             help="runs per grid point; fastest kept")
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--city-seed", type=int, default=42)
+    serve_bench.add_argument(
+        "--json", help="write the repro.bench_serve/v1 document here"
+    )
+    serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    for serve_parser in (serve_run, serve_replay):
+        serve_parser.add_argument(
+            "--venue", choices=sorted(all_profiles()), default="canteen",
+            help="venue whose centre seeds the attacker position",
+        )
+        serve_parser.add_argument("--seed", type=int, default=7)
+        serve_parser.add_argument("--city-seed", type=int, default=42)
+        serve_parser.add_argument(
+            "--workers", type=int,
+            help="attacker-node worker count (default: REPRO_WORKERS, "
+                 "else 4)",
+        )
 
     city = sub.add_parser("city", help="inspect the synthetic city")
     city.add_argument("--city-seed", type=int, default=42)

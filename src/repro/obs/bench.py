@@ -27,6 +27,7 @@ BENCH_TOLERANCE_DEFAULT = 0.05
 
 HOTPATH_SCHEMA = "repro.bench_hotpath/v1"
 SHARDS_SCHEMA = "repro.bench_shards/v1"
+SERVE_SCHEMA = "repro.bench_serve/v1"
 
 
 def load_bench_doc(path: Union[str, pathlib.Path]) -> dict:
@@ -98,6 +99,41 @@ def extract_bench_metrics(doc: dict) -> Dict[str, dict]:
         if "max_speedup" in doc:
             metrics["max_speedup"] = {
                 "value": float(doc["max_speedup"]),
+                "higher_better": True,
+                "gated": True,
+            }
+        return metrics
+    if schema == SERVE_SCHEMA:
+        # Gated: sustained probes/s per grid point and the shed
+        # fraction (the committed baseline throughput is deliberately
+        # conservative — a fraction of local numbers — so the gate
+        # catches order-of-magnitude regressions, not runner noise).
+        # Informational: latency percentiles and the rank-cache hit
+        # rate, both too hardware/GC-sensitive to gate.
+        for point in doc.get("grid", []):
+            at = "%dcl/%dwk" % (point["clients"], point["workers"])
+            metrics["probes_per_s@%s" % at] = {
+                "value": float(point["probes_per_s"]),
+                "higher_better": True,
+                "gated": True,
+            }
+            metrics["shed_fraction@%s" % at] = {
+                "value": float(point["shed_fraction"]),
+                "higher_better": False,
+                "gated": True,
+            }
+            for name, higher in (("p50_us", False), ("p99_us", False),
+                                 ("rank_cache_hit_rate", True)):
+                value = point.get(name)
+                if value is not None:
+                    metrics["%s@%s" % (name, at)] = {
+                        "value": float(value),
+                        "higher_better": higher,
+                        "gated": False,
+                    }
+        if "max_probes_per_s" in doc:
+            metrics["max_probes_per_s"] = {
+                "value": float(doc["max_probes_per_s"]),
                 "higher_better": True,
                 "gated": True,
             }

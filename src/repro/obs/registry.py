@@ -216,6 +216,10 @@ class MetricsRegistry:
         """Current value of one counter (0 when never incremented)."""
         return self._counters.get(metric_key(name, labels), 0)
 
+    def gauge_value(self, name: str, default: float = 0, **labels: object) -> float:
+        """Current value of one gauge (``default`` when never set)."""
+        return self._gauges.get(metric_key(name, labels), default)
+
     def counters_named(self, name: str) -> Dict[str, float]:
         """All counters of one base name, keyed by their flat label key."""
         return {

@@ -1,0 +1,374 @@
+"""Attacker-as-a-service: the asyncio serving layer.
+
+:class:`RankingService` turns the synchronous
+:class:`~repro.serve.core.RankingCore` into a traffic-serving system:
+probe-request events flow in through a bounded ingress queue, ``N``
+concurrent attacker-node workers pull them off, and burst decisions
+flow out — with explicit backpressure, load-shed accounting, worker
+supervision and ``serve.*`` metrics through the standard
+:class:`~repro.obs.registry.MetricsRegistry`.
+
+**Determinism under concurrency.**  The ranking state (SSID store,
+PB/FB split, ghost-pick RNG) is shared across every client, so the
+*apply order* of events decides every downstream burst.  Each accepted
+event is stamped with an ingress sequence number and workers commit
+through a sequencer that admits exactly one event at a time, in stamp
+order — transport concurrency (queueing, parsing, shedding, emission)
+is real, state mutation is serialised.  Decisions therefore come out in
+ingress order at *any* worker count, which is what lets the replay
+tests pin one digest across ``REPRO_WORKERS`` settings and what makes
+the differential harness meaningful.
+
+**Backpressure vs shedding.**  The default policy is backpressure:
+``submit`` awaits queue space, pushing the wait onto the producer (a
+capture pipeline that cannot buffer should shed upstream).  With
+``shed=True`` a full queue drops *probe* events on the floor — counted
+in ``serve.shed_total`` — but feedback events always take the
+backpressure path: losing a probe costs one response opportunity,
+losing feedback forks the ranking state from reality.
+
+**Worker faults.**  Worker tasks run under a supervisor loop: an
+exception restarts the worker (counted in ``serve.worker_restarts``)
+with all session state intact, because state lives in the core, not the
+worker.  An event in flight at crash time is salvaged: if it had not
+reached the core it is re-applied by the supervisor (in-flight feedback
+is never dropped); if the core raised mid-apply the event is counted in
+``serve.events_failed`` and its sequence slot released so the stream
+never deadlocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time as _time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.registry import METRICS_SCHEMA, MetricsRegistry
+from repro.serve.core import RankingCore
+from repro.serve.events import BurstDecision, Event, FeedbackEvent, ProbeEvent
+
+WORKERS_ENV = "REPRO_WORKERS"
+QUEUE_MAX_ENV = "REPRO_SERVE_QUEUE_MAX"
+
+DEFAULT_WORKERS = 4
+DEFAULT_QUEUE_MAX = 1024
+
+LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600,
+)
+"""Burst-selection latency histogram bounds, microseconds (an overflow
+bucket is implicit).  Wall-clock observations: like the ``timers``
+section, these are *not* part of the deterministic metric surface."""
+
+
+def resolve_serve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit arg, else ``REPRO_WORKERS``, else 4."""
+    if workers is not None:
+        return max(1, int(workers))
+    value = os.environ.get(WORKERS_ENV, "").strip()
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            pass
+    return DEFAULT_WORKERS
+
+
+def resolve_queue_max(queue_max: Optional[int] = None) -> int:
+    """Ingress bound: explicit arg, else ``REPRO_SERVE_QUEUE_MAX``."""
+    if queue_max is not None:
+        return max(1, int(queue_max))
+    value = os.environ.get(QUEUE_MAX_ENV, "").strip()
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            pass
+    return DEFAULT_QUEUE_MAX
+
+
+class _Sequencer:
+    """Admit commits strictly in sequence-number order."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._waiters: Dict[int, asyncio.Event] = {}
+
+    async def wait(self, seq: int) -> None:
+        if seq == self._next:
+            return
+        event = self._waiters.setdefault(seq, asyncio.Event())
+        await event.wait()
+
+    def done(self, seq: int) -> None:
+        """Release ``seq``'s slot and wake the next committer."""
+        self._next = seq + 1
+        waiter = self._waiters.pop(self._next, None)
+        if waiter is not None:
+            waiter.set()
+
+
+class _Inflight:
+    """One worker's event-in-flight slot (crash-salvage bookkeeping)."""
+
+    __slots__ = ("seq", "event", "applying")
+
+    def __init__(self, seq: int, event: Event):
+        self.seq = seq
+        self.event = event
+        self.applying = False
+
+
+class RankingService:
+    """Async probe-stream server over one shared :class:`RankingCore`."""
+
+    def __init__(
+        self,
+        core: RankingCore,
+        workers: Optional[int] = None,
+        queue_max: Optional[int] = None,
+        shed: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        fault_hook: Optional[Callable[[int, Event], None]] = None,
+        on_decision: Optional[Callable[[BurstDecision], None]] = None,
+        sample_latencies: bool = False,
+    ):
+        self.core = core
+        self.workers = resolve_serve_workers(workers)
+        self.queue_max = resolve_queue_max(queue_max)
+        self.shed = shed
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.decisions: List[BurstDecision] = []
+        self.events_log: List[dict] = []
+        self._fault_hook = fault_hook
+        self._on_decision = on_decision
+        self._sample_latencies = sample_latencies
+        self.latencies_us: List[float] = []
+        self._queue: Optional[asyncio.Queue] = None
+        self._gate = _Sequencer()
+        self._next_seq = 0
+        self._tasks: List[asyncio.Task] = []
+        self._inflight: Dict[int, Optional[_Inflight]] = {}
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_queue(self) -> asyncio.Queue:
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self.queue_max)
+        return self._queue
+
+    async def start(self) -> None:
+        """Spawn the supervised worker pool."""
+        if self._started:
+            return
+        self._ensure_queue()
+        loop = asyncio.get_running_loop()
+        for wid in range(self.workers):
+            self._inflight[wid] = None
+            self._tasks.append(loop.create_task(self._supervise(wid)))
+        self._started = True
+
+    async def drain(self) -> None:
+        """Wait until every accepted event has been committed."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    async def stop(self) -> None:
+        """Cancel the worker pool (drain first for a clean shutdown)."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        self._started = False
+
+    # -- ingress ---------------------------------------------------------------
+
+    async def submit(self, event: Event) -> bool:
+        """Offer one event; returns False when shed (never for feedback)."""
+        queue = self._ensure_queue()
+        etype = "feedback" if isinstance(event, FeedbackEvent) else (
+            "direct" if event.is_direct else "broadcast"
+        )
+        self.metrics.inc("serve.events_total", type=etype)
+        if (
+            self.shed
+            and isinstance(event, ProbeEvent)
+            and queue.full()
+        ):
+            self.metrics.inc("serve.shed_total", type=etype)
+            return False
+        seq = self._next_seq
+        self._next_seq += 1
+        await queue.put((seq, event))
+        self.metrics.gauge_max("serve.queue_depth_peak", queue.qsize())
+        return True
+
+    # -- workers ---------------------------------------------------------------
+
+    async def _supervise(self, wid: int) -> None:
+        while True:
+            try:
+                await self._worker_loop(wid)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.metrics.inc("serve.worker_restarts")
+                self.events_log.append(
+                    {"kind": "serve.worker_restart", "worker": wid}
+                )
+                item = self._inflight.get(wid)
+                self._inflight[wid] = None
+                if item is None:
+                    continue
+                if item.applying:
+                    # The core raised mid-apply: the commit's finally
+                    # clause already released the sequence slot, so just
+                    # count the casualty and move on.
+                    self.metrics.inc("serve.events_failed")
+                    self._queue.task_done()
+                    continue
+                # Transport-stage crash: the core never saw the event —
+                # apply it now so nothing (feedback especially) is lost.
+                await self._commit(item.seq, item.event)
+                self._queue.task_done()
+
+    async def _worker_loop(self, wid: int) -> None:
+        queue = self._ensure_queue()
+        while True:
+            seq, event = await queue.get()
+            item = _Inflight(seq, event)
+            self._inflight[wid] = item
+            if self._fault_hook is not None:
+                # Transport-stage processing (parse/validate stand-in);
+                # the test fault injector raises here.
+                self._fault_hook(wid, event)
+            await self._commit(seq, event, item)
+            self._inflight[wid] = None
+            queue.task_done()
+
+    async def _commit(
+        self, seq: int, event: Event, item: Optional[_Inflight] = None
+    ) -> None:
+        await self._gate.wait(seq)
+        if item is not None:
+            item.applying = True
+        start = _time.perf_counter()
+        try:
+            decision = self.core.handle(event)
+        finally:
+            self._gate.done(seq)
+        elapsed_us = (_time.perf_counter() - start) * 1e6
+        if isinstance(event, ProbeEvent):
+            self.metrics.observe(
+                "serve.select_latency_us",
+                elapsed_us,
+                buckets=LATENCY_BUCKETS_US,
+            )
+            self.metrics.timer_add("serve.select", elapsed_us / 1e6)
+            if self._sample_latencies:
+                self.latencies_us.append(elapsed_us)
+        if decision is not None:
+            self.decisions.append(decision)
+            self.metrics.inc("serve.decisions_total", kind=decision.kind)
+            self.metrics.inc("serve.ssids_offered", len(decision.ssids))
+            if self._on_decision is not None:
+                self._on_decision(decision)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def finish(self) -> None:
+        """Fold the core's deterministic counters into the registry."""
+        stats = self.core.stats()
+        self.metrics.gauge_set("serve.db_size", stats["db_size"])
+        self.metrics.gauge_set("serve.clients", stats["clients"])
+        self.metrics.gauge_set("serve.pb_size", stats["pb_size"])
+        self.metrics.gauge_set("serve.fb_size", stats["fb_size"])
+        hits, misses = stats["rank_cache_hits"], stats["rank_cache_misses"]
+        if hits:
+            self.metrics.inc("serve.rank_cache", hits, result="hit")
+        if misses:
+            self.metrics.inc("serve.rank_cache", misses, result="miss")
+
+    def shed_total(self) -> float:
+        """Total events shed so far (all types)."""
+        return sum(
+            self.metrics.counters_named("serve.shed_total").values()
+        )
+
+
+async def serve_stream(
+    service: RankingService, events: Iterable[Event]
+) -> List[BurstDecision]:
+    """Run one bounded stream to completion through ``service``."""
+    await service.start()
+    try:
+        for event in events:
+            await service.submit(event)
+        await service.drain()
+    finally:
+        await service.stop()
+    service.finish()
+    return service.decisions
+
+
+def serve_metrics_doc(
+    service: RankingService,
+    tag: str = "serve",
+    seed: int = 0,
+    venue: Optional[str] = None,
+) -> dict:
+    """One serving run as a standard ``repro.metrics/v1`` artefact.
+
+    The same document shape the batch executor writes, so the whole
+    ``obs`` toolchain — ``summarize``, ``prom``, the schema validator —
+    works on serving runs unchanged.
+    """
+    snapshot = service.metrics.to_dict()
+    return {
+        "schema": METRICS_SCHEMA,
+        "workers": service.workers,
+        "run_count": 1,
+        "merged": snapshot,
+        "runs": [
+            {
+                "tag": tag,
+                "attacker": "serve",
+                "venue": venue,
+                "seed": seed,
+                "metrics": snapshot,
+                "events": list(service.events_log),
+            }
+        ],
+    }
+
+
+def run_stream(
+    core: RankingCore,
+    events: Iterable[Event],
+    workers: Optional[int] = None,
+    queue_max: Optional[int] = None,
+    shed: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    sample_latencies: bool = False,
+) -> RankingService:
+    """Synchronous convenience: serve ``events``, return the service.
+
+    The returned service carries the decision list, the metrics
+    registry and (optionally) the raw latency samples.
+    """
+    service = RankingService(
+        core,
+        workers=workers,
+        queue_max=queue_max,
+        shed=shed,
+        metrics=metrics,
+        sample_latencies=sample_latencies,
+    )
+    asyncio.run(serve_stream(service, events))
+    return service

@@ -1,0 +1,148 @@
+"""UJI-shaped JSONL probe-trace adapter.
+
+Real capture pipelines deliver timestamped probe-request records — the
+UJI Probes dataset (Bravenec et al., PAPERS.md) is the reference shape:
+one JSON object per line with a timestamp, a source MAC and an SSID
+field that is empty for broadcast probes.  This module adapts such
+files into the serving layer's event types, tolerantly: torn or
+malformed lines (a capture process killed mid-write, a corrupted
+export) are *skipped and counted*, never fatal — the same reader
+discipline :mod:`repro.obs.epochs` applies to shard telemetry.
+
+Accepted record fields (first match wins):
+
+* time     — ``ts`` | ``time`` | ``timestamp`` (seconds, number)
+* MAC      — ``mac`` | ``src`` | ``mac_address``
+* SSID     — ``ssid`` (missing/empty/null = broadcast probe)
+* kind     — ``type`` | ``kind``: ``assoc``/``feedback`` records become
+  :class:`~repro.serve.events.FeedbackEvent` (they need an SSID);
+  anything else (``probe-req``, ``probe``, absent) is a probe.
+
+Decision output goes the other way: :func:`write_decisions` exports a
+decision stream as JSONL rows for diffing and artefact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.serve.events import Event, FeedbackEvent, ProbeEvent
+
+_TIME_KEYS = ("ts", "time", "timestamp")
+_MAC_KEYS = ("mac", "src", "mac_address")
+_KIND_KEYS = ("type", "kind")
+
+_FEEDBACK_KINDS = ("assoc", "association", "feedback", "hit")
+
+
+@dataclass
+class TraceStats:
+    """What the tolerant reader skipped, and why."""
+
+    lines: int = 0
+    parsed: int = 0
+    skipped: int = 0
+    reasons: List[Tuple[int, str]] = field(default_factory=list)
+
+    def skip(self, line_no: int, reason: str) -> None:
+        self.skipped += 1
+        self.reasons.append((line_no, reason))
+
+
+def _first(doc: dict, keys) -> object:
+    for key in keys:
+        if key in doc:
+            return doc[key]
+    return None
+
+
+def parse_trace_record(doc: object) -> Event:
+    """One JSON record -> event; raises ``ValueError`` when malformed."""
+    if not isinstance(doc, dict):
+        raise ValueError("record is not an object")
+    raw_time = _first(doc, _TIME_KEYS)
+    if not isinstance(raw_time, (int, float)) or isinstance(raw_time, bool):
+        raise ValueError("missing or non-numeric timestamp")
+    mac = _first(doc, _MAC_KEYS)
+    if not isinstance(mac, str) or not mac:
+        raise ValueError("missing source MAC")
+    ssid = doc.get("ssid")
+    if ssid is not None and not isinstance(ssid, str):
+        raise ValueError("non-string ssid")
+    kind = _first(doc, _KIND_KEYS)
+    if isinstance(kind, str) and kind.lower() in _FEEDBACK_KINDS:
+        if not ssid:
+            raise ValueError("feedback record without ssid")
+        return FeedbackEvent(mac.lower(), float(raw_time), ssid)
+    return ProbeEvent(mac.lower(), float(raw_time), ssid or None)
+
+
+def load_trace(
+    path: Union[str, pathlib.Path],
+) -> Tuple[List[Event], TraceStats]:
+    """Parse one JSONL trace file, skipping torn/malformed lines."""
+    stats = TraceStats()
+    events: List[Event] = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            stats.lines += 1
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                stats.skip(line_no, "torn or invalid JSON")
+                continue
+            try:
+                events.append(parse_trace_record(doc))
+            except ValueError as exc:
+                stats.skip(line_no, str(exc))
+    stats.parsed = len(events)
+    return events, stats
+
+
+def write_decisions(
+    decisions, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Export a decision stream as canonical JSONL rows."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for decision in decisions:
+            fh.write(json.dumps(decision.as_row(), sort_keys=True) + "\n")
+    return path
+
+
+def write_trace(
+    events, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Export events as a UJI-shaped JSONL trace (fixture generation)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(trace_record(event), sort_keys=True) + "\n")
+    return path
+
+
+def trace_record(event: Event) -> dict:
+    """The UJI-shaped JSON object for one event."""
+    if isinstance(event, FeedbackEvent):
+        return {
+            "ts": event.time,
+            "mac": event.mac,
+            "ssid": event.ssid,
+            "type": "assoc",
+        }
+    if isinstance(event, ProbeEvent):
+        return {
+            "ts": event.time,
+            "mac": event.mac,
+            "ssid": event.ssid or "",
+            "type": "probe-req",
+        }
+    raise TypeError("unknown event type %r" % type(event).__name__)
