@@ -21,6 +21,13 @@ carries deliberately conservative throughput numbers — a fraction of
 what a dev machine measures — so the ``repro obs bench`` gate catches
 order-of-magnitude regressions without tripping on runner noise.
 
+When the committed baseline exists, every run also appends its gated
+metrics to ``bench_trajectory.jsonl`` next to the artefact (the same
+file CI's ``repro obs bench --trajectory`` writes), so local runs feed
+the serve perf trajectory too.  ``--req-trace`` turns on per-probe
+request tracing for the heaviest grid point and exports the Chrome
+trace-event timeline as ``req_trace.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--assert-probes 2000]
@@ -37,9 +44,22 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from _shared import emit, out_dir  # noqa: E402
+from repro.obs.bench import (  # noqa: E402
+    append_trajectory,
+    compare_bench,
+    load_bench_doc,
+)
+from repro.obs.reqtrace import (  # noqa: E402
+    load_reqtrace_dir,
+    reqtrace_dir,
+    write_req_trace,
+)
 from repro.serve.workload import run_bench_grid  # noqa: E402
 
 ARTIFACT = "BENCH_serve.json"
+BASELINE = Path(__file__).resolve().parent / "baselines" / ARTIFACT
+TRAJECTORY = "bench_trajectory.jsonl"
+TRAJECTORY_TOLERANCE = 0.35
 
 CLIENT_GRID = (20, 100)
 WORKER_GRID = (1, 4)
@@ -89,6 +109,11 @@ def main(argv=None):
         metavar="N",
         help="runs per grid point; the fastest is kept (default 1)",
     )
+    parser.add_argument(
+        "--req-trace",
+        action="store_true",
+        help="trace the heaviest grid point; export req_trace.json",
+    )
     args = parser.parse_args(argv)
 
     doc = run_bench_grid(
@@ -98,6 +123,7 @@ def main(argv=None):
         seed=SEED,
         city_seed=CITY_SEED,
         repeats=args.repeats,
+        req_trace=args.req_trace,
     )
     doc["python"] = platform.python_version()
     doc["machine"] = platform.machine()
@@ -105,6 +131,32 @@ def main(argv=None):
     artifact.write_text(json.dumps(doc, indent=2) + "\n")
     emit("bench_serve", render(doc))
     print(f"\nwrote {artifact}")
+
+    if args.req_trace:
+        records = load_reqtrace_dir(reqtrace_dir())
+        if not records:
+            print("FAIL: --req-trace captured no request spans")
+            return 1
+        trace_path = out_dir() / "req_trace.json"
+        write_req_trace(records, trace_path)
+        print(f"wrote {trace_path} ({len(records)} span(s))")
+
+    # Feed the serve perf trajectory on every local run too, not only
+    # from CI's `repro obs bench --trajectory` step.  Informational:
+    # the regression *gate* stays in CI where tolerance is pinned.
+    if BASELINE.exists():
+        report = compare_bench(
+            doc, load_bench_doc(BASELINE), tolerance=TRAJECTORY_TOLERANCE
+        )
+        trajectory = append_trajectory(
+            out_dir() / TRAJECTORY,
+            report,
+            meta={"source": "bench_serve.py"},
+        )
+        print(
+            "trajectory %s -> %s (vs committed baseline)"
+            % ("ok" if report["ok"] else "REGRESSED", trajectory)
+        )
 
     if args.assert_probes is not None:
         best = doc["max_probes_per_s"]

@@ -15,7 +15,11 @@ import pathlib
 from collections import Counter
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.obs.registry import parse_key, validate_metrics_doc
+from repro.obs.registry import (
+    estimate_percentile,
+    parse_key,
+    validate_metrics_doc,
+)
 from repro.sim.tracing import Trace
 
 PROVENANCE_ORDER = (
@@ -212,3 +216,64 @@ def shard_breakdown(snapshot: dict) -> Optional[dict]:
         "hits": int(counters.get("shardsim.hits", 0)),
     }
     return out
+
+
+#: Serving pipeline stages with a ``serve.<stage>_us`` histogram,
+#: in path order.
+SERVE_STAGES = ("queue_wait", "commit_wait", "select_latency", "apply")
+
+
+def serve_breakdown(snapshot: dict) -> Optional[dict]:
+    """Serving summary of a metrics snapshot, or None when the document
+    never saw a :class:`~repro.serve.service.RankingService`.
+
+    Throughput divides the probe count (select-histogram count) by the
+    ``serve.stream`` wall timer; stage tail latencies are estimated
+    from the fixed-bucket ``serve.*_us`` histograms via
+    :func:`~repro.obs.registry.estimate_percentile`.  Documents from
+    before the stage histograms existed simply report fewer stages.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    hists = snapshot.get("histograms", {})
+    if not any(
+        k.startswith("serve.")
+        for k in list(counters) + list(gauges) + list(hists)
+    ):
+        return None
+
+    def counter_sum(name: str) -> float:
+        return sum(
+            v for k, v in counters.items() if parse_key(k)[0] == name
+        )
+
+    select = hists.get("serve.select_latency_us")
+    probes = int(select["count"]) if select else 0
+    stream = snapshot.get("timers", {}).get("serve.stream", {})
+    wall_s = float(stream.get("total_s", 0.0))
+    events = counter_sum("serve.events_total")
+    shed = counter_sum("serve.shed_total")
+    stages = {}
+    for stage in SERVE_STAGES:
+        hist = hists.get("serve.%s_us" % stage)
+        if hist is None:
+            continue
+        stages[stage] = {
+            "count": int(hist["count"]),
+            "p50_us": estimate_percentile(hist, 50),
+            "p99_us": estimate_percentile(hist, 99),
+        }
+    return {
+        "events": int(events),
+        "probes": probes,
+        "decisions": int(counter_sum("serve.decisions_total")),
+        "probes_per_s": (
+            round(probes / wall_s, 1) if wall_s > 0 and probes else None
+        ),
+        "shed": int(shed),
+        "shed_fraction": round(shed / events, 6) if events else 0.0,
+        "worker_restarts": int(counters.get("serve.worker_restarts", 0)),
+        "events_failed": int(counters.get("serve.events_failed", 0)),
+        "queue_depth_peak": int(gauges.get("serve.queue_depth_peak", 0)),
+        "stages": stages,
+    }

@@ -19,11 +19,14 @@ any code:
 * ``obs``      — inspect a ``metrics.json`` artefact (summarize /
   export events as JSONL / top-N SSIDs by hits), reconstruct a client's
   hunt story from a lineage trace, render the hot-handler profile,
-  watch live worker heartbeats (``obs watch``) or the whole fleet with
-  per-shard epoch stats and run health (``obs top``), export per-epoch
-  barrier spans as a Perfetto-viewable trace (``obs shard-trace``),
-  regenerate the Prometheus text exposition (``obs prom``), or gate a
-  benchmark against its committed baseline (see OBSERVABILITY.md).
+  watch live worker heartbeats (``obs watch``) or the whole fleet —
+  including running serving processes — with per-shard epoch stats and
+  run health (``obs top``), export per-epoch barrier spans
+  (``obs shard-trace``) or per-probe serving-stage spans
+  (``obs serve-trace``) as Perfetto-viewable traces, evaluate the
+  serving SLO budgets (``obs slo``), regenerate the Prometheus text
+  exposition (``obs prom``), or gate a benchmark against its committed
+  baseline (see OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -211,6 +214,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         pbfb_timeline,
         provenance_breakdown,
         run_events,
+        serve_breakdown,
         shard_breakdown,
         sink_status,
         top_hit_ssids,
@@ -286,6 +290,41 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                     shard["hits"],
                 )
             )
+        serve = serve_breakdown(merged)
+        if serve is not None:
+            rate = serve["probes_per_s"]
+            print(
+                "  serving: %d event(s), %d probe(s), %d decision(s)"
+                "%s"
+                % (
+                    serve["events"],
+                    serve["probes"],
+                    serve["decisions"],
+                    "   probes/s %g" % rate if rate is not None else "",
+                )
+            )
+            print(
+                "    shed %d (%.2f%%)   worker restarts %d   "
+                "events failed %d   queue peak %d"
+                % (
+                    serve["shed"],
+                    100.0 * serve["shed_fraction"],
+                    serve["worker_restarts"],
+                    serve["events_failed"],
+                    serve["queue_depth_peak"],
+                )
+            )
+            for stage, row in serve["stages"].items():
+                p50, p99 = row["p50_us"], row["p99_us"]
+                print(
+                    "    %-16s count %-7d est p50 %-9s est p99 %s"
+                    % (
+                        stage,
+                        row["count"],
+                        "%.0f us" % p50 if p50 is not None else "-",
+                        "%.0f us" % p99 if p99 is not None else "-",
+                    )
+                )
         status = sink_status(doc)
         trace_cap = (
             f"cap {status['trace.cap']:g}" if status["trace.cap"] else "cap ?"
@@ -469,6 +508,76 @@ def _cmd_obs_shard_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_serve_trace(args: argparse.Namespace) -> int:
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.reqtrace import load_reqtrace_dir, write_req_trace
+    from repro.obs.telemetry import heartbeat_dir
+
+    directory = args.dir or heartbeat_dir()
+    records = load_reqtrace_dir(directory)
+    if not records:
+        print(
+            f"no reqtrace-*.jsonl files under {directory} (run a serving "
+            "workload with REPRO_REQ_TRACE=1 first, or pass --dir)",
+            file=sys.stderr,
+        )
+        return 1
+    path = write_req_trace(records, args.out or artifact_path("req_trace"))
+    workers = {r["worker"] for r in records if r.get("worker") is not None}
+    seqs = {r["seq"] for r in records}
+    print(
+        f"{len(records)} request spans over {len(seqs)} event(s) across "
+        f"{len(workers)} worker track(s) written to {path} "
+        "(Chrome trace-event JSON; open in Perfetto)"
+    )
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.artifacts import artifact_path
+    from repro.obs.slo import default_slo, evaluate_slo, render_slo_report
+
+    overrides = {}
+    for item in args.budget or ():
+        stage, _, value = item.partition("=")
+        try:
+            overrides[stage.strip()] = float(value)
+        except ValueError:
+            print(
+                f"bad --budget {item!r} (want stage=microseconds)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        slo = default_slo(overrides, shed_budget=args.shed_budget)
+    except ValueError as exc:
+        print(f"slo error: {exc}", file=sys.stderr)
+        return 2
+    path = args.path or artifact_path("metrics")
+    while True:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            report = evaluate_slo(slo, doc)
+        except FileNotFoundError:
+            print(
+                f"no artefact at {path} (run 'repro serve run' or point "
+                "--path at a BENCH_serve.json)",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"slo error: {exc}", file=sys.stderr)
+            return 2
+        print(render_slo_report(report))
+        if args.once:
+            return 0 if report["ok"] else 1
+        time.sleep(args.interval)
+        print()
+
+
 def _cmd_obs_prom(args: argparse.Namespace) -> int:
     from repro.analysis.observability import load_metrics
     from repro.obs.artifacts import artifact_path
@@ -493,6 +602,7 @@ def _cmd_obs_prom(args: argparse.Namespace) -> int:
 
 def _cmd_obs_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
+        SERVE_SCHEMA,
         append_trajectory,
         compare_bench,
         load_bench_doc,
@@ -512,7 +622,17 @@ def _cmd_obs_bench(args: argparse.Namespace) -> int:
     if args.trajectory:
         append_trajectory(args.trajectory, report)
         print(f"trajectory appended to {args.trajectory}")
-    return 0 if report["ok"] else 1
+    ok = report["ok"]
+    if report.get("bench_schema") == SERVE_SCHEMA and not args.no_slo:
+        # Serving candidates also pass through the declared-SLO layer:
+        # a machine can be no slower than baseline and still blow the
+        # absolute tail budget.
+        from repro.obs.slo import default_slo, evaluate_slo, render_slo_report
+
+        slo_report = evaluate_slo(default_slo(), current)
+        print(render_slo_report(slo_report))
+        ok = ok and slo_report["ok"]
+    return 0 if ok else 1
 
 
 def _cmd_shards_run(args: argparse.Namespace) -> int:
@@ -744,6 +864,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         city_seed=args.city_seed,
         repeats=args.repeats,
+        req_trace=args.req_trace,
     )
     rows = [
         [
@@ -770,6 +891,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"benchmark document written to {args.json}")
+    if args.req_trace:
+        from repro.obs.artifacts import artifact_path
+        from repro.obs.reqtrace import load_reqtrace_dir, write_req_trace
+        from repro.obs.telemetry import heartbeat_dir
+
+        records = load_reqtrace_dir(heartbeat_dir())
+        if records:
+            path = write_req_trace(records, artifact_path("req_trace"))
+            print(
+                f"{len(records)} request spans from the heaviest grid "
+                f"point written to {path} (Chrome trace-event JSON)"
+            )
+        else:
+            print("no request spans captured", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -970,6 +1106,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_shard_trace.set_defaults(func=_cmd_obs_shard_trace)
 
+    obs_serve_trace = obs_sub.add_parser(
+        "serve-trace",
+        help="export per-probe serving-stage spans as Chrome trace-event "
+             "JSON (ingress + per-worker tracks, flow arrows per probe)",
+    )
+    obs_serve_trace.add_argument(
+        "--dir",
+        help="telemetry directory holding reqtrace-*.jsonl (default: "
+             "telemetry/ in the resolved artefact directory)",
+    )
+    obs_serve_trace.add_argument(
+        "--out",
+        help="trace file to write (default: req_trace.json in the "
+             "resolved artefact directory)",
+    )
+    obs_serve_trace.set_defaults(func=_cmd_obs_serve_trace)
+
+    obs_slo = obs_sub.add_parser(
+        "slo",
+        help="evaluate the serving SLO (p99 stage budgets + shed budget) "
+             "against a metrics.json or BENCH_serve.json artefact",
+    )
+    obs_slo.add_argument(
+        "--path",
+        help="artefact to evaluate (default: metrics.json in the "
+             "resolved artefact directory; a repro.bench_serve/v1 "
+             "document also works)",
+    )
+    obs_slo.add_argument(
+        "--once", action="store_true",
+        help="evaluate once and exit (status 1 on budget breach)",
+    )
+    obs_slo.add_argument(
+        "--interval", type=float, default=5.0, metavar="S",
+        help="refresh period in follow mode (default 5)",
+    )
+    obs_slo.add_argument(
+        "--budget", action="append", metavar="STAGE=US",
+        help="override one stage's p99 budget in microseconds (stages: "
+             "queue_wait, commit_wait, select_latency, apply); repeatable",
+    )
+    obs_slo.add_argument(
+        "--shed-budget", type=float, metavar="FRAC",
+        help="override the shed-fraction budget (default 0.05)",
+    )
+    obs_slo.set_defaults(func=_cmd_obs_slo)
+
     obs_prom = obs_sub.add_parser(
         "prom",
         help="regenerate the Prometheus text exposition from metrics.json",
@@ -1003,6 +1186,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs_bench.add_argument(
         "--trajectory", metavar="PATH",
         help="append the comparison to this JSONL trajectory artefact",
+    )
+    obs_bench.add_argument(
+        "--no-slo", action="store_true",
+        help="skip the declared-SLO evaluation that serving candidates "
+             "(repro.bench_serve/v1) otherwise get for free",
     )
     obs_bench.set_defaults(func=_cmd_obs_bench)
 
@@ -1061,6 +1249,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--city-seed", type=int, default=42)
     serve_bench.add_argument(
         "--json", help="write the repro.bench_serve/v1 document here"
+    )
+    serve_bench.add_argument(
+        "--req-trace", action="store_true",
+        help="request-trace the heaviest grid point and export the "
+             "Chrome trace (req_trace.json in the artefact directory)",
     )
     serve_bench.set_defaults(func=_cmd_serve_bench)
 

@@ -11,7 +11,9 @@ OBSERVABILITY.md): causal :mod:`~repro.obs.lineage` tracing with Chrome
 trace-event export, the per-handler :mod:`~repro.obs.profiler`, live
 executor heartbeats and the fleet aggregator in
 :mod:`~repro.obs.telemetry`, per-epoch barrier spans for the sharded
-engine in :mod:`~repro.obs.epochs`, the Prometheus text exposition in
+engine in :mod:`~repro.obs.epochs`, per-probe request tracing through
+the serving path in :mod:`~repro.obs.reqtrace` with the declared-SLO
+gate in :mod:`~repro.obs.slo`, the Prometheus text exposition in
 :mod:`~repro.obs.prom`, and the :mod:`~repro.obs.bench` regression gate
 CI runs against committed baselines.
 """
@@ -35,10 +37,29 @@ from repro.obs.registry import (
     METRICS_SCHEMA,
     FixedHistogram,
     MetricsRegistry,
+    estimate_percentile,
     merge_snapshots,
     metric_key,
     parse_key,
     validate_metrics_doc,
+)
+from repro.obs.reqtrace import (
+    REQ_TRACE_ENV,
+    REQ_TRACE_MAX_ENV,
+    RequestTrace,
+    load_reqtrace_dir,
+    maybe_request_trace,
+    read_reqtrace_records,
+    req_trace_doc,
+    resolve_req_trace,
+    write_req_trace,
+)
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    ServeSlo,
+    default_slo,
+    evaluate_slo,
+    render_slo_report,
 )
 from repro.obs.bench import (
     BENCH_TOLERANCE_DEFAULT,
@@ -88,6 +109,7 @@ from repro.obs.prom import (
 from repro.obs.spans import NullSpan, Span, maybe_span, span, timer
 from repro.obs.telemetry import (
     HEARTBEAT_ENV,
+    SERVE_HEARTBEAT_ENV,
     HeartbeatWriter,
     clear_heartbeats,
     fleet_snapshot,
@@ -96,6 +118,7 @@ from repro.obs.telemetry import (
     read_heartbeats,
     render_top,
     render_watch,
+    resolve_serve_heartbeat_interval,
     watch_snapshot,
 )
 
@@ -114,10 +137,25 @@ __all__ = [
     "METRICS_SCHEMA",
     "FixedHistogram",
     "MetricsRegistry",
+    "estimate_percentile",
     "merge_snapshots",
     "metric_key",
     "parse_key",
     "validate_metrics_doc",
+    "REQ_TRACE_ENV",
+    "REQ_TRACE_MAX_ENV",
+    "RequestTrace",
+    "load_reqtrace_dir",
+    "maybe_request_trace",
+    "read_reqtrace_records",
+    "req_trace_doc",
+    "resolve_req_trace",
+    "write_req_trace",
+    "SLO_SCHEMA",
+    "ServeSlo",
+    "default_slo",
+    "evaluate_slo",
+    "render_slo_report",
     "NullSpan",
     "Span",
     "maybe_span",
@@ -154,6 +192,8 @@ __all__ = [
     "validate_prom_text",
     "write_prom",
     "HEARTBEAT_ENV",
+    "SERVE_HEARTBEAT_ENV",
+    "resolve_serve_heartbeat_interval",
     "HeartbeatWriter",
     "clear_heartbeats",
     "fleet_snapshot",

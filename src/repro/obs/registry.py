@@ -118,6 +118,40 @@ class FixedHistogram:
         return hist
 
 
+def estimate_percentile(hist, q: float) -> Optional[float]:
+    """Estimate the ``q``-th percentile (0–100) of a fixed-bucket histogram.
+
+    ``hist`` is a :class:`FixedHistogram` or its :meth:`~FixedHistogram.to_dict`
+    snapshot.  Returns ``None`` for an empty histogram.  Within the bucket
+    that owns the target rank the estimate interpolates linearly between the
+    bucket's edges; the first bucket is anchored at 0.0 (observations are
+    assumed non-negative, which holds for every ``serve.*_us`` stage
+    histogram this estimator serves).  Mass in the implicit overflow bucket
+    has no upper edge, so the estimate saturates at the last finite bound —
+    a deliberate under-estimate that still trips any budget set below it.
+    """
+    if isinstance(hist, FixedHistogram):
+        bounds, counts, total = hist.bounds, hist.counts, hist.count
+    else:
+        bounds = tuple(float(b) for b in hist["bounds"])
+        counts = list(hist["counts"])
+        total = int(hist.get("count", sum(counts)))
+    if total <= 0:
+        return None
+    q = min(100.0, max(0.0, float(q)))
+    target = q / 100.0 * total
+    cum = 0
+    for i, c in enumerate(counts):
+        if c and cum + c >= target:
+            if i >= len(bounds):
+                return float(bounds[-1])
+            lower = bounds[i - 1] if i > 0 else 0.0
+            fraction = (target - cum) / c
+            return float(lower + fraction * (bounds[i] - lower))
+        cum += c
+    return float(bounds[-1])
+
+
 class _Timer:
     """Context manager accumulating wall time into the timers section."""
 
@@ -219,6 +253,12 @@ class MetricsRegistry:
     def gauge_value(self, name: str, default: float = 0, **labels: object) -> float:
         """Current value of one gauge (``default`` when never set)."""
         return self._gauges.get(metric_key(name, labels), default)
+
+    def histogram(
+        self, name: str, **labels: object
+    ) -> Optional[FixedHistogram]:
+        """The live histogram under one key (``None`` when never observed)."""
+        return self._histograms.get(metric_key(name, labels))
 
     def counters_named(self, name: str) -> Dict[str, float]:
         """All counters of one base name, keyed by their flat label key."""

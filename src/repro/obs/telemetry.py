@@ -44,10 +44,12 @@ from typing import Callable, ContextManager, List, Optional, Union
 from repro.obs.artifacts import artifact_dir
 
 HEARTBEAT_ENV = "REPRO_HEARTBEAT"
+SERVE_HEARTBEAT_ENV = "REPRO_SERVE_HEARTBEAT"
 _TRUTHY = ("1", "true", "on", "yes")
 
 DEFAULT_INTERVAL_S = 5.0
 DEFAULT_STALL_AFTER_S = 60.0
+DEFAULT_SHED_THRESHOLD = 0.05
 TELEMETRY_SUBDIR = "telemetry"
 
 #: Anomaly events of the sharded engine (crash / respawn / kill / ...).
@@ -76,6 +78,24 @@ def resolve_heartbeat_interval(value: Optional[str] = None) -> Optional[float]:
     except ValueError:
         return None
     return interval if interval > 0 else None
+
+
+def resolve_serve_heartbeat_interval(
+    value: Optional[str] = None,
+) -> Optional[float]:
+    """Serving-heartbeat interval in seconds, or None when off.
+
+    ``REPRO_SERVE_HEARTBEAT`` takes the same grammar as
+    ``REPRO_HEARTBEAT`` (truthy flag for the 5 s default, or a number
+    of seconds) but gates the :class:`~repro.serve.service.RankingService`
+    heartbeats separately — a batch run with executor heartbeats on
+    should not suddenly grow serve files, and vice versa.
+    """
+    if value is None:
+        value = os.environ.get(SERVE_HEARTBEAT_ENV, "")
+    if not value.strip():
+        return None
+    return resolve_heartbeat_interval(value)
 
 
 def heartbeat_dir(base: Optional[Union[str, pathlib.Path]] = None) -> pathlib.Path:
@@ -307,7 +327,9 @@ def watch_snapshot(
         now = _time.time()
     rows: List[dict] = []
     paths = sorted(
-        list(directory.glob("worker-*.jsonl")) + list(directory.glob("shard-*.jsonl"))
+        list(directory.glob("worker-*.jsonl"))
+        + list(directory.glob("shard-*.jsonl"))
+        + list(directory.glob("serve-*.jsonl"))
     )
     for path in paths:
         records = read_heartbeats(path)
@@ -322,23 +344,67 @@ def watch_snapshot(
         if not done and epoch is not None and int(epoch) == 0:
             first_age = max(0.0, now - float(records[0].get("wall", now)))
             stalled = stalled or first_age > stall_after_s
-        rows.append(
-            {
-                "file": path.name,
-                "pid": last.get("pid"),
-                "spec": last.get("spec"),
-                "sim_time": last.get("sim_time"),
-                "fraction": last.get("fraction"),
-                "hits": last.get("hits"),
-                "epoch": epoch,
-                "epochs": epochs,
-                "beats": len(records),
-                "age_s": age,
-                "done": done,
-                "stalled": stalled,
-            }
-        )
+        row = {
+            "file": path.name,
+            "pid": last.get("pid"),
+            "spec": last.get("spec"),
+            "sim_time": last.get("sim_time"),
+            "fraction": last.get("fraction"),
+            "hits": last.get("hits"),
+            "epoch": epoch,
+            "epochs": epochs,
+            "beats": len(records),
+            "age_s": age,
+            "done": done,
+            "stalled": stalled,
+        }
+        if path.name.startswith("serve-"):
+            row["kind"] = "serve"
+            for key in SERVE_EXTRA_KEYS:
+                row[key] = last.get(key)
+            shed_fraction = last.get("shed_fraction") or 0.0
+            depth, cap = last.get("queue_depth"), last.get("queue_max")
+            row["overloaded"] = (not done) and (
+                shed_fraction > DEFAULT_SHED_THRESHOLD
+                or (depth is not None and cap and int(depth) >= int(cap))
+            )
+            # A service can heartbeat forever while its sequencer is
+            # wedged: commits frozen with a backlog behind them is a
+            # stall even when the file keeps growing.
+            committed = last.get("committed")
+            events = last.get("events")
+            if (
+                not done
+                and committed is not None
+                and events is not None
+                and int(events) > int(committed)
+            ):
+                frozen_since = float(last.get("wall", now))
+                for rec in reversed(records):
+                    if rec.get("committed") != committed:
+                        break
+                    frozen_since = float(rec.get("wall", frozen_since))
+                row["stalled"] = (
+                    row["stalled"] or (now - frozen_since) > stall_after_s
+                )
+        rows.append(row)
     return rows
+
+
+#: Fields a serve heartbeat carries beyond the base record shape.
+SERVE_EXTRA_KEYS = (
+    "workers",
+    "events",
+    "committed",
+    "probes_per_s",
+    "queue_depth",
+    "queue_max",
+    "shed",
+    "shed_fraction",
+    "p50_us",
+    "p99_us",
+    "worker_restarts",
+)
 
 
 def _epoch_cell(row: dict) -> str:
@@ -367,8 +433,14 @@ def render_watch(rows: List[dict], stall_after_s: float) -> str:
             status = "done"
         elif row["stalled"]:
             status = "STALLED (silent > %.0fs)" % stall_after_s
+        elif row.get("overloaded"):
+            status = "OVERLOADED (shed %.1f%%)" % (
+                100.0 * (row.get("shed_fraction") or 0.0)
+            )
         elif row.get("recovering"):
             status = "recovering"
+        elif row.get("kind") == "serve":
+            status = "serving"
         else:
             status = "running"
         lines.append(
@@ -393,6 +465,8 @@ def clear_heartbeats(
     patterns = (
         "worker-*.jsonl",
         "shard-*.jsonl",
+        "serve-*.jsonl",
+        "reqtrace-*.jsonl",
         "epochs-*.jsonl",
         OPS_EVENTS_FILE,
         "*.jsonl.old",
@@ -458,6 +532,7 @@ def fleet_snapshot(
     window: int = 40,
     straggler_threshold: float = 4.0,
     imbalance_threshold: float = 4.0,
+    shed_threshold: float = DEFAULT_SHED_THRESHOLD,
 ) -> dict:
     """One health document over everything the telemetry directory holds.
 
@@ -484,6 +559,15 @@ def fleet_snapshot(
     rows = watch_snapshot(directory, stall_after_s=stall_after_s, now=now)
     workers = [r for r in rows if r["file"].startswith("worker-")]
     shards = [r for r in rows if r["file"].startswith("shard-")]
+    services = [r for r in rows if r["file"].startswith("serve-")]
+    for row in services:
+        shed_fraction = row.get("shed_fraction") or 0.0
+        depth, cap = row.get("queue_depth"), row.get("queue_max")
+        overloaded = (not row["done"]) and (
+            shed_fraction > shed_threshold
+            or (depth is not None and cap and int(depth) >= int(cap))
+        )
+        row["overloaded"] = overloaded
     epoch_stats = {
         shard_id: _shard_epoch_stats(records, window)
         for shard_id, records in load_epoch_dir(directory).items()
@@ -519,6 +603,17 @@ def fleet_snapshot(
     for row in rows:
         if row["stalled"]:
             problems.append("%s stalled" % row["file"])
+    for row in services:
+        if row.get("overloaded"):
+            problems.append(
+                "%s overloaded (shed %.1f%%, queue %s/%s)"
+                % (
+                    row["file"],
+                    100.0 * (row.get("shed_fraction") or 0.0),
+                    row.get("queue_depth"),
+                    row.get("queue_max"),
+                )
+            )
 
     straggler_ratio = None
     phase_means = sorted(
@@ -564,6 +659,7 @@ def fleet_snapshot(
         "stall_after_s": stall_after_s,
         "workers": workers,
         "shards": shards,
+        "services": services,
         "epochs": {str(k): v for k, v in sorted(epoch_stats.items())},
         "recovery": {
             "crashes": len(crash_events),
@@ -578,6 +674,8 @@ def fleet_snapshot(
             "imbalance_threshold": imbalance_threshold,
             "epochs_per_s": min(rates) if rates else None,
             "stalled": sum(1 for r in rows if r["stalled"]),
+            "overloaded": sum(1 for r in services if r.get("overloaded")),
+            "shed_threshold": shed_threshold,
             "crashes": len(crash_events),
             "recoveries": len(respawn_events),
             "recovery_active": recovery_active,
@@ -596,7 +694,8 @@ def render_top(doc: dict) -> str:
     stats, and the derived health line."""
     health = doc["health"]
     recovery = doc.get("recovery", {})
-    rows = doc["workers"] + doc["shards"]
+    services = doc.get("services", [])
+    rows = doc["workers"] + doc["shards"] + services
     recovery_cell = ""
     if recovery.get("crashes") or recovery.get("respawns"):
         recovery_cell = "   recoveries %d (%d crash(es)%s)" % (
@@ -605,11 +704,12 @@ def render_top(doc: dict) -> str:
             ", in flight" if recovery.get("active") else "",
         )
     lines = [
-        "fleet: %d worker(s), %d shard(s)   epochs/s %s   "
+        "fleet: %d worker(s), %d shard(s), %d service(s)   epochs/s %s   "
         "straggler %s   imbalance %s%s"
         % (
             len(doc["workers"]),
             len(doc["shards"]),
+            len(services),
             _ratio_cell(health["epochs_per_s"]),
             _ratio_cell(health["straggler_ratio"]),
             _ratio_cell(health["handoff_imbalance"]),
@@ -618,6 +718,37 @@ def render_top(doc: dict) -> str:
         "",
         render_watch(rows, doc["stall_after_s"]),
     ]
+    if services:
+        lines.append("")
+        lines.append(
+            f"{'service':<22} {'probes/s':>9} {'queue':>11} {'shed %':>7} "
+            f"{'p50 us':>8} {'p99 us':>8} {'restarts':>9}  verdict"
+        )
+        for row in services:
+            rate = row.get("probes_per_s")
+            rate_cell = "%.0f" % rate if rate is not None else "-"
+            queue_cell = "%s/%s" % (
+                row.get("queue_depth", "-"),
+                row.get("queue_max", "-"),
+            )
+            shed_cell = "%.1f" % (100.0 * (row.get("shed_fraction") or 0.0))
+            p50, p99 = row.get("p50_us"), row.get("p99_us")
+            p50 = "%.1f" % p50 if p50 is not None else "-"
+            p99 = "%.1f" % p99 if p99 is not None else "-"
+            if row["done"]:
+                verdict = "done"
+            elif row["stalled"]:
+                verdict = "STALLED"
+            elif row.get("overloaded"):
+                verdict = "OVERLOADED"
+            else:
+                verdict = "serving"
+            lines.append(
+                f"{row['file']:<22} {rate_cell:>9} {queue_cell:>11} "
+                f"{shed_cell:>7} "
+                f"{p50:>8} {p99:>8} "
+                f"{row.get('worker_restarts') or 0:>9}  {verdict}"
+            )
     if doc["epochs"]:
         crashes_by_shard = recovery.get("crashes_by_shard", {})
         lines.append("")

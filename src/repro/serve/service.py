@@ -44,7 +44,16 @@ import os
 import time as _time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.obs.registry import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.registry import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    estimate_percentile,
+)
+from repro.obs.reqtrace import maybe_request_trace
+from repro.obs.telemetry import (
+    HeartbeatWriter,
+    resolve_serve_heartbeat_interval,
+)
 from repro.serve.core import RankingCore
 from repro.serve.events import BurstDecision, Event, FeedbackEvent, ProbeEvent
 
@@ -60,6 +69,14 @@ LATENCY_BUCKETS_US: Tuple[float, ...] = (
 """Burst-selection latency histogram bounds, microseconds (an overflow
 bucket is implicit).  Wall-clock observations: like the ``timers``
 section, these are *not* part of the deterministic metric surface."""
+
+STAGE_BUCKETS_US: Tuple[float, ...] = (
+    50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600,
+    102400, 409600, 1638400, 6553600,
+)
+"""Queue-wait / commit-wait histogram bounds, microseconds.  The waits
+are dominated by backlog, not compute, so the range extends to ~6.5 s
+before the overflow bucket.  Wall-clock, like the select histogram."""
 
 
 def resolve_serve_workers(workers: Optional[int] = None) -> int:
@@ -133,6 +150,7 @@ class RankingService:
         fault_hook: Optional[Callable[[int, Event], None]] = None,
         on_decision: Optional[Callable[[BurstDecision], None]] = None,
         sample_latencies: bool = False,
+        req_trace: Optional[bool] = None,
     ):
         self.core = core
         self.workers = resolve_serve_workers(workers)
@@ -151,6 +169,13 @@ class RankingService:
         self._tasks: List[asyncio.Task] = []
         self._inflight: Dict[int, Optional[_Inflight]] = {}
         self._started = False
+        # Observe-only instrumentation: the span ring never touches an
+        # RNG stream and the heartbeat thread never mutates core state,
+        # so digests are identical with both on or off.
+        self.reqtrace = maybe_request_trace(req_trace)
+        self._heartbeat: Optional[HeartbeatWriter] = None
+        self._committed = 0
+        self._hb_anchor: Tuple[float, int] = (0.0, 0)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -169,6 +194,16 @@ class RankingService:
             self._inflight[wid] = None
             self._tasks.append(loop.create_task(self._supervise(wid)))
         self._started = True
+        interval = resolve_serve_heartbeat_interval()
+        if interval is not None and self._heartbeat is None:
+            self._heartbeat = HeartbeatWriter(
+                "serve",
+                1.0,  # rescaled to the submitted count on every beat
+                lambda: (float(self._committed), len(self.decisions)),
+                interval_s=interval,
+                file_stem="serve-%d" % os.getpid(),
+                extra=self._heartbeat_extra,
+            ).__enter__()
 
     async def drain(self) -> None:
         """Wait until every accepted event has been committed."""
@@ -186,6 +221,9 @@ class RankingService:
                 pass
         self._tasks = []
         self._started = False
+        if self._heartbeat is not None:
+            heartbeat, self._heartbeat = self._heartbeat, None
+            heartbeat.__exit__(None, None, None)
 
     # -- ingress ---------------------------------------------------------------
 
@@ -205,8 +243,21 @@ class RankingService:
             return False
         seq = self._next_seq
         self._next_seq += 1
-        await queue.put((seq, event))
+        t_offer = _time.perf_counter()
+        await queue.put((seq, event, t_offer))
         self.metrics.gauge_max("serve.queue_depth_peak", queue.qsize())
+        if self.reqtrace is not None:
+            # The enqueue span covers any backpressure wait for queue
+            # space; queue_wait starts at the offer for the same reason.
+            self.reqtrace.record(
+                "enqueue",
+                seq,
+                None,
+                t_offer,
+                _time.perf_counter() - t_offer,
+                mac=event.mac,
+                etype=etype,
+            )
         return True
 
     # -- workers ---------------------------------------------------------------
@@ -235,35 +286,56 @@ class RankingService:
                     continue
                 # Transport-stage crash: the core never saw the event —
                 # apply it now so nothing (feedback especially) is lost.
-                await self._commit(item.seq, item.event)
+                await self._commit(item.seq, item.event, wid=wid)
                 self._queue.task_done()
 
     async def _worker_loop(self, wid: int) -> None:
         queue = self._ensure_queue()
         while True:
-            seq, event = await queue.get()
+            seq, event, t_offer = await queue.get()
+            t_pick = _time.perf_counter()
+            self.metrics.observe(
+                "serve.queue_wait_us",
+                (t_pick - t_offer) * 1e6,
+                buckets=STAGE_BUCKETS_US,
+            )
+            if self.reqtrace is not None:
+                self.reqtrace.record(
+                    "queue_wait", seq, wid, t_offer, t_pick - t_offer
+                )
             item = _Inflight(seq, event)
             self._inflight[wid] = item
             if self._fault_hook is not None:
                 # Transport-stage processing (parse/validate stand-in);
                 # the test fault injector raises here.
                 self._fault_hook(wid, event)
-            await self._commit(seq, event, item)
+            await self._commit(seq, event, item, wid=wid)
             self._inflight[wid] = None
             queue.task_done()
 
     async def _commit(
-        self, seq: int, event: Event, item: Optional[_Inflight] = None
+        self,
+        seq: int,
+        event: Event,
+        item: Optional[_Inflight] = None,
+        wid: Optional[int] = None,
     ) -> None:
+        t_gate = _time.perf_counter()
         await self._gate.wait(seq)
         if item is not None:
             item.applying = True
         start = _time.perf_counter()
+        self.metrics.observe(
+            "serve.commit_wait_us",
+            (start - t_gate) * 1e6,
+            buckets=STAGE_BUCKETS_US,
+        )
         try:
             decision = self.core.handle(event)
         finally:
             self._gate.done(seq)
-        elapsed_us = (_time.perf_counter() - start) * 1e6
+        t_rank = _time.perf_counter()
+        elapsed_us = (t_rank - start) * 1e6
         if isinstance(event, ProbeEvent):
             self.metrics.observe(
                 "serve.select_latency_us",
@@ -273,14 +345,74 @@ class RankingService:
             self.metrics.timer_add("serve.select", elapsed_us / 1e6)
             if self._sample_latencies:
                 self.latencies_us.append(elapsed_us)
+        self._committed += 1
         if decision is not None:
             self.decisions.append(decision)
             self.metrics.inc("serve.decisions_total", kind=decision.kind)
             self.metrics.inc("serve.ssids_offered", len(decision.ssids))
             if self._on_decision is not None:
                 self._on_decision(decision)
+        t_apply = _time.perf_counter()
+        self.metrics.observe(
+            "serve.apply_us",
+            (t_apply - t_rank) * 1e6,
+            buckets=LATENCY_BUCKETS_US,
+        )
+        if self.reqtrace is not None:
+            self.reqtrace.record(
+                "commit_wait", seq, wid, t_gate, start - t_gate
+            )
+            self.reqtrace.record(
+                "rank",
+                seq,
+                wid,
+                start,
+                t_rank - start,
+                kind=None if decision is None else decision.kind,
+            )
+            self.reqtrace.record("apply", seq, wid, t_rank, t_apply - t_rank)
 
     # -- bookkeeping -----------------------------------------------------------
+
+    def _heartbeat_extra(self) -> dict:
+        """Serving vitals for one heartbeat record (read-only).
+
+        Runs on the heartbeat thread: every value is a plain read of
+        int/float attributes or histogram buckets the event loop writes
+        — a torn read smears one beat, never the service.
+        """
+        now = _time.perf_counter()
+        hist = self.metrics.histogram("serve.select_latency_us")
+        probes = hist.count if hist is not None else 0
+        last_wall, last_probes = self._hb_anchor
+        rate = None
+        if last_wall and now > last_wall:
+            rate = round((probes - last_probes) / (now - last_wall), 1)
+        self._hb_anchor = (now, probes)
+        submitted = self._next_seq
+        shed = self.shed_total()
+        offered = submitted + shed
+        if self._heartbeat is not None:
+            # Fraction in the base record = committed / submitted.
+            self._heartbeat.duration_s = float(max(1, submitted))
+        return {
+            "kind": "serve",
+            "workers": self.workers,
+            "events": int(offered),
+            "committed": int(self._committed),
+            "probes_per_s": rate,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_max": self.queue_max,
+            "shed": int(shed),
+            "shed_fraction": (
+                round(shed / offered, 6) if offered else 0.0
+            ),
+            "p50_us": estimate_percentile(hist, 50) if hist else None,
+            "p99_us": estimate_percentile(hist, 99) if hist else None,
+            "worker_restarts": int(
+                self.metrics.counter_value("serve.worker_restarts")
+            ),
+        }
 
     def finish(self) -> None:
         """Fold the core's deterministic counters into the registry."""
@@ -294,6 +426,17 @@ class RankingService:
             self.metrics.inc("serve.rank_cache", hits, result="hit")
         if misses:
             self.metrics.inc("serve.rank_cache", misses, result="miss")
+        if self.reqtrace is not None:
+            self.metrics.gauge_set(
+                "reqtrace.records", float(len(self.reqtrace))
+            )
+            self.metrics.gauge_set(
+                "reqtrace.dropped", float(self.reqtrace.dropped)
+            )
+            self.metrics.gauge_set(
+                "reqtrace.cap", float(self.reqtrace.max_records)
+            )
+            self.reqtrace.flush()
 
     def shed_total(self) -> float:
         """Total events shed so far (all types)."""
@@ -306,6 +449,7 @@ async def serve_stream(
     service: RankingService, events: Iterable[Event]
 ) -> List[BurstDecision]:
     """Run one bounded stream to completion through ``service``."""
+    stream_start = _time.perf_counter()
     await service.start()
     try:
         for event in events:
@@ -313,6 +457,11 @@ async def serve_stream(
         await service.drain()
     finally:
         await service.stop()
+    # Wall time of the whole stream (quarantined in ``timers``): what
+    # ``obs summarize`` divides the probe count by for probes/s.
+    service.metrics.timer_add(
+        "serve.stream", _time.perf_counter() - stream_start
+    )
     service.finish()
     return service.decisions
 
@@ -356,6 +505,7 @@ def run_stream(
     shed: bool = False,
     metrics: Optional[MetricsRegistry] = None,
     sample_latencies: bool = False,
+    req_trace: Optional[bool] = None,
 ) -> RankingService:
     """Synchronous convenience: serve ``events``, return the service.
 
@@ -369,6 +519,7 @@ def run_stream(
         shed=shed,
         metrics=metrics,
         sample_latencies=sample_latencies,
+        req_trace=req_trace,
     )
     asyncio.run(serve_stream(service, events))
     return service

@@ -91,6 +91,7 @@ def measure_load(
     queue_max: Optional[int] = None,
     shed: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    req_trace: Optional[bool] = None,
 ) -> dict:
     """Serve one stream as fast as possible; return the load report."""
     start = _time.perf_counter()
@@ -102,6 +103,7 @@ def measure_load(
         shed=shed,
         metrics=metrics,
         sample_latencies=True,
+        req_trace=req_trace,
     )
     wall_s = _time.perf_counter() - start
     probes = sum(
@@ -149,6 +151,7 @@ def run_bench_grid(
     city_seed: int = 42,
     repeats: int = 1,
     venue: str = "canteen",
+    req_trace: bool = False,
 ) -> dict:
     """Sweep the serving grid; return a ``repro.bench_serve/v1`` doc.
 
@@ -157,6 +160,13 @@ def run_bench_grid(
     stream through a fresh core; with ``repeats > 1`` the fastest run
     per point is kept (standard benchmarking practice — the minimum is
     the least noisy estimator of the machine's capability).
+
+    With ``req_trace`` only the heaviest grid point (max clients, max
+    workers) is traced — spans cost nanoseconds each but the flushed
+    JSONL does not, and one representative point is what the exported
+    timeline is for.  Every other point runs with tracing explicitly
+    off, so a ``REPRO_REQ_TRACE=1`` environment cannot skew the
+    untraced measurements either.
     """
     from repro.experiments.calibration import default_city, venue_profile
     from repro.experiments.runner import shared_wigle
@@ -167,6 +177,7 @@ def run_bench_grid(
     position = city.venue(venue_profile(venue).venue_name).region.center
     pool = [s for s, _ in top_ssids_by_count(wigle, 60)]
     grid: List[dict] = []
+    trace_cl, trace_wk = max(clients), max(workers)
     for n_cl in clients:
         events = synthetic_stream(
             n_cl, n_events, seed=seed, ssid_pool=pool
@@ -178,7 +189,14 @@ def run_bench_grid(
                 core = RankingCore.seeded(
                     wigle, city.heatmap, position, seed=seed
                 )
-                report = measure_load(core, events, workers=n_wk)
+                report = measure_load(
+                    core,
+                    events,
+                    workers=n_wk,
+                    req_trace=(n_cl == trace_cl and n_wk == trace_wk)
+                    if req_trace
+                    else False,
+                )
                 if best is None or (
                     report["probes_per_s"] or 0
                 ) > (best["probes_per_s"] or 0):

@@ -109,6 +109,35 @@ class TestBitIdentical:
         assert len(core.db) == len(recording.result.attacker.db)
 
 
+class TestObserveOnly:
+    """Request tracing and heartbeats must not perturb decisions.
+
+    The observability layers only *observe* — no RNG draws, no
+    scheduling.  Re-run every differential scenario with
+    ``REPRO_REQ_TRACE=1`` and fast service heartbeats enabled and
+    demand the digest the un-instrumented run produced, at several
+    worker counts (satellite of the request-tracing PR; mirrors the
+    lineage/epoch tracer invariance tests).
+    """
+
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_tracing_on_digest_identical(
+        self, recording, city, wigle, workers, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_REQ_TRACE", "1")
+        monkeypatch.setenv("REPRO_SERVE_HEARTBEAT", "0.05")
+        # finish() flushes reqtrace JSONL; keep it out of the repo tree.
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        core = recording.seeded_core(wigle, city)
+        service = run_stream(core, recording.events, workers=workers)
+        assert decisions_digest(service.decisions) == decisions_digest(
+            recording.decisions
+        )
+        assert service.reqtrace is not None and len(service.reqtrace) > 0
+        flushed = list((tmp_path / "telemetry").glob("reqtrace-*.jsonl"))
+        assert flushed, "finish() should flush the span ring"
+
+
 def test_recording_is_passthrough(city, wigle):
     """The wire-tap must not perturb the attack it observes."""
     recording = record_probe_stream(

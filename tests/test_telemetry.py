@@ -381,6 +381,191 @@ class TestFleetSnapshot:
         assert "no heartbeat files yet" in render_top(doc)
 
 
+def _write_serve(directory, pid, walls, committed=None, events=800,
+                 shed_fraction=0.0, queue_depth=3, queue_max=256,
+                 done=False):
+    """A serve heartbeat file with one record per wall timestamp."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"serve-{pid}.jsonl"
+    committed = committed or [events] * len(walls)
+    with open(path, "w") as fh:
+        for seq, (wall, c) in enumerate(zip(walls, committed)):
+            last = seq == len(walls) - 1
+            fh.write(json.dumps({
+                "wall": wall, "pid": pid, "spec": "serve", "seq": seq,
+                "sim_time": float(c), "fraction": c / max(1, events),
+                "hits": 0, "done": done and last, "kind": "serve",
+                "workers": 4, "events": events, "committed": c,
+                "probes_per_s": 12000.0, "queue_depth": queue_depth,
+                "queue_max": queue_max, "shed": 0,
+                "shed_fraction": shed_fraction, "p50_us": 40.0,
+                "p99_us": 210.0, "worker_restarts": 0,
+            }) + "\n")
+    return path
+
+
+class TestServeInterval:
+    def test_off_by_default(self, monkeypatch):
+        from repro.obs.telemetry import resolve_serve_heartbeat_interval
+
+        monkeypatch.delenv("REPRO_SERVE_HEARTBEAT", raising=False)
+        assert resolve_serve_heartbeat_interval() is None
+
+    def test_separate_from_executor_heartbeats(self, monkeypatch):
+        from repro.obs.telemetry import resolve_serve_heartbeat_interval
+
+        # Executor heartbeats on must not arm serve heartbeats.
+        monkeypatch.setenv("REPRO_HEARTBEAT", "1")
+        monkeypatch.delenv("REPRO_SERVE_HEARTBEAT", raising=False)
+        assert resolve_serve_heartbeat_interval() is None
+        monkeypatch.setenv("REPRO_SERVE_HEARTBEAT", "0.5")
+        assert resolve_serve_heartbeat_interval() == 0.5
+        monkeypatch.setenv("REPRO_SERVE_HEARTBEAT", "on")
+        assert resolve_serve_heartbeat_interval() == DEFAULT_INTERVAL_S
+
+
+class TestServeWatchRows:
+    def test_row_carries_serve_fields(self, tmp_path):
+        now = 1000.0
+        _write_serve(tmp_path, 61, [now - 1.0], committed=[500])
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        row = rows[0]
+        assert row["kind"] == "serve"
+        assert row["workers"] == 4
+        assert row["probes_per_s"] == 12000.0
+        assert row["overloaded"] is False
+        assert row["stalled"] is False
+        assert "serving" in render_watch(rows, 60.0)
+
+    def test_shedding_service_flagged_overloaded(self, tmp_path):
+        now = 1000.0
+        _write_serve(tmp_path, 62, [now - 1.0], committed=[500],
+                     shed_fraction=0.2)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["overloaded"] is True
+        assert "OVERLOADED (shed 20.0%)" in render_watch(rows, 60.0)
+
+    def test_full_queue_flagged_overloaded(self, tmp_path):
+        now = 1000.0
+        _write_serve(tmp_path, 63, [now - 1.0], committed=[500],
+                     queue_depth=256, queue_max=256)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["overloaded"] is True
+
+    def test_frozen_commits_with_backlog_is_a_stall(self, tmp_path):
+        """A wedged sequencer keeps heartbeating; commits frozen with a
+        backlog past the threshold must still read as stalled."""
+        now = 1000.0
+        _write_serve(
+            tmp_path, 64,
+            [now - 300.0, now - 150.0, now - 1.0],
+            committed=[400, 400, 400],  # frozen for 300 s, 800 expected
+        )
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["stalled"] is True
+        assert "STALLED" in render_watch(rows, 60.0)
+
+    def test_progressing_commits_not_stalled(self, tmp_path):
+        now = 1000.0
+        _write_serve(
+            tmp_path, 65,
+            [now - 300.0, now - 150.0, now - 1.0],
+            committed=[200, 400, 600],
+        )
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["stalled"] is False
+
+    def test_done_service_never_flagged(self, tmp_path):
+        now = 1000.0
+        _write_serve(tmp_path, 66, [now - 3600.0], shed_fraction=0.5,
+                     done=True)
+        rows = watch_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert rows[0]["stalled"] is False
+        assert rows[0]["overloaded"] is False
+
+
+class TestServeFleet:
+    def test_services_fold_into_health(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot, render_top
+
+        now = 1000.0
+        _write_worker(tmp_path, 71, now - 1.0)
+        _write_serve(tmp_path, 72, [now - 1.0], committed=[500])
+        doc = fleet_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert len(doc["services"]) == 1
+        assert doc["health"]["overloaded"] == 0
+        assert doc["health"]["healthy"] is True
+        out = render_top(doc)
+        assert "1 worker(s), 0 shard(s), 1 service(s)" in out
+        assert "serving" in out
+
+    def test_overloaded_service_degrades_health(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot, render_top
+
+        now = 1000.0
+        _write_serve(tmp_path, 73, [now - 1.0], committed=[500],
+                     shed_fraction=0.3, queue_depth=256, queue_max=256)
+        doc = fleet_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert doc["health"]["healthy"] is False
+        assert doc["health"]["overloaded"] == 1
+        assert any("overloaded" in p for p in doc["health"]["problems"])
+        out = render_top(doc)
+        assert "OVERLOADED" in out
+        assert "health: DEGRADED" in out
+
+    def test_shed_threshold_configurable(self, tmp_path):
+        from repro.obs.telemetry import fleet_snapshot
+
+        now = 1000.0
+        _write_serve(tmp_path, 74, [now - 1.0], committed=[500],
+                     shed_fraction=0.03)
+        default = fleet_snapshot(tmp_path, stall_after_s=60.0, now=now)
+        assert default["health"]["overloaded"] == 0
+        strict = fleet_snapshot(
+            tmp_path, stall_after_s=60.0, now=now, shed_threshold=0.01
+        )
+        assert strict["health"]["overloaded"] == 1
+
+    def test_top_cli_shows_service_table(self, tmp_path, capsys):
+        now = time.time()
+        _write_serve(tmp_path, 75, [now - 1.0], committed=[800], done=True)
+        rc = main(["obs", "top", "--once", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serve-75.jsonl" in out
+        assert "done" in out
+
+
+class TestServiceHeartbeatIntegration:
+    def test_service_emits_and_watch_folds(
+        self, city, wigle, tmp_path, monkeypatch, capsys
+    ):
+        from repro.serve.core import RankingCore
+        from repro.serve.service import run_stream
+        from repro.serve.workload import synthetic_stream
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SERVE_HEARTBEAT", "0.05")
+        monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+        core = RankingCore.seeded(
+            wigle, city.heatmap, city.venues[0].region.center, seed=0
+        )
+        run_stream(core, synthetic_stream(8, 200, seed=0), workers=2)
+        files = list((tmp_path / "telemetry").glob("serve-*.jsonl"))
+        assert len(files) == 1
+        records = read_heartbeats(files[0])
+        assert records[-1]["done"] is True
+        assert records[-1]["kind"] == "serve"
+        assert records[-1]["committed"] == 200
+        assert records[-1]["events"] == 200
+        assert records[-1]["fraction"] == 1.0
+        rc = main(["obs", "watch", "--once",
+                   "--dir", str(tmp_path / "telemetry")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "done" in out
+
+
 class TestTopCli:
     def test_once_healthy_exits_zero(self, tmp_path, capsys):
         now = time.time()
